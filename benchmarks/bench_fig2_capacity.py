@@ -1,0 +1,64 @@
+"""Figure 2 — number of tenants per database.
+
+Regenerates the paper's capacity grid (application complexity x host
+size) from the meta-data-budget arithmetic of
+:mod:`repro.core.capacity` and checks the figure's claims: a blade
+hosts ~10,000 simple-email tenants but ~100 CRM tenants, ERP barely
+consolidates at all, and big iron buys roughly two orders of magnitude.
+"""
+
+import pytest
+
+from repro.core.capacity import (
+    BLADE_MEMORY,
+    CapacityModel,
+    FIGURE2_PROFILES,
+    figure2_estimates,
+)
+from repro.experiments.report import render_table
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return {(app, host): n for app, host, n in figure2_estimates()}
+
+
+class TestFigure2:
+    def test_report(self, benchmark, grid, report):
+        benchmark.pedantic(figure2_estimates, rounds=3)
+        rows = [
+            (
+                profile.name,
+                grid[(profile.name, "blade")],
+                grid[(profile.name, "big_iron")],
+            )
+            for profile in FIGURE2_PROFILES
+        ]
+        report(
+            "fig2_capacity",
+            render_table(
+                "Figure 2: Number of Tenants per Database (modelled)",
+                ["application", "blade (1 GB)", "big iron (100 GB)"],
+                rows,
+            ),
+        )
+
+    def test_email_on_blade_order_of_magnitude(self, grid):
+        assert 5_000 <= grid[("email", "blade")] <= 50_000  # paper: 10,000
+
+    def test_crm_on_blade_order_of_magnitude(self, grid):
+        assert 100 <= grid[("crm_srm", "blade")] <= 1_000  # paper: 100
+
+    def test_crm_on_big_iron(self, grid):
+        assert grid[("crm_srm", "big_iron")] >= 10_000  # paper: up to 10,000
+
+    def test_complexity_monotone(self, grid):
+        for host in ("blade", "big_iron"):
+            counts = [grid[(p.name, host)] for p in FIGURE2_PROFILES]
+            assert counts == sorted(counts, reverse=True)
+
+    def test_blade_knee_matches_experiment1(self, grid):
+        """The same model predicts the many-tables knee Experiment 1
+        measures: ~10^5 tables on a 1 GB blade at 4 KB/table."""
+        model = CapacityModel(memory_bytes=BLADE_MEMORY)
+        assert 50_000 <= model.max_tables() <= 200_000

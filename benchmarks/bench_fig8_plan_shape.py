@@ -1,0 +1,74 @@
+"""Figure 8 — join plan for the simple fragment query.
+
+Plans Q2 (scale 3) over the width-6 Chunk Table layout and checks the
+plan exhibits the figure's structure:
+
+* region 1/2 — both ChunkIndex accesses are constant-keyed IXSCANs
+  (the selective ``p.id = ?`` predicate is pushed into the chunk
+  representing the child's foreign key, via transitive equality),
+* region 3 — a HSJOIN implements the value-based foreign-key join,
+* regions 4/5 — NLJOIN chains align the data chunks on Row through the
+  ``tcr`` meta-data index.
+"""
+
+import pytest
+
+from repro.engine.explain import count_operators, plan_shape, render_plan
+from repro.experiments.chunkqueries import TENANT, q2_sql
+
+
+@pytest.fixture(scope="module")
+def experiment(pool):
+    return pool.experiment("chunk6")
+
+
+@pytest.fixture(scope="module")
+def plan(experiment):
+    return experiment.mtd.db.plan(
+        experiment.mtd.transform_sql(TENANT, q2_sql(3))
+    )
+
+
+class TestFigure8:
+    def test_report(self, benchmark, experiment, plan, report):
+        benchmark.pedantic(render_plan, args=(plan,), rounds=2)
+        report(
+            "fig8_plan",
+            "Figure 8: Join plan for simple fragment query "
+            "(Q2 scale 3 on Chunk6)\n\n" + render_plan(plan),
+        )
+
+    def test_hash_join_in_the_middle(self, plan):
+        assert count_operators(plan, "HSJOIN") == 1
+
+    def test_nljoin_chains_for_data_chunks(self, plan):
+        assert count_operators(plan, "NLJOIN") >= 2
+
+    def test_all_access_via_indexes(self, plan):
+        assert count_operators(plan, "TBSCAN") == 0
+        assert count_operators(plan, "IXSCAN") == 4
+
+    def test_constant_pushed_to_both_chunkindex_scans(self, plan):
+        text = render_plan(plan)
+        assert text.count("int1 = ?") == 2  # parent id AND child FK chunk
+
+    def test_index_only_chunkindex_access(self, plan):
+        text = render_plan(plan)
+        assert "index-only" in text
+
+    def test_fetches_only_for_data_chunks(self, plan):
+        text = render_plan(plan)
+        assert text.count("FETCH") == 2
+
+    def test_query_answers_correctly(self, experiment):
+        rows = experiment.mtd.execute(TENANT, q2_sql(3), [1]).rows
+        assert len(rows) == experiment.config.children_per_parent
+
+    def test_benchmark_planning_time(self, benchmark, experiment):
+        sql = experiment.mtd.transform_sql(TENANT, q2_sql(3))
+
+        def plan_it():
+            return experiment.mtd.db.plan(sql)
+
+        root = benchmark(plan_it)
+        assert plan_shape(root).startswith("RETURN")

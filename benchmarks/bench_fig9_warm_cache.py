@@ -1,0 +1,90 @@
+"""Figure 9 (Test 3) — response times with warm cache.
+
+Q2 over chunk widths {3, 6, 15, 30, 90} and the conventional layout,
+same parameter every run so the data stays in memory: the overhead over
+conventional tables "is entirely due to computing the aligning joins".
+
+Shape claims: narrow chunks are slowest; width 15 roughly halves the
+width-3 time at high scale (paper: "already for 15-column wide chunks,
+the response time is cut in half in comparison to 3-column wide
+chunks"); wide chunks approach the conventional layout.
+"""
+
+import pytest
+
+from conftest import BENCH_SCALES, chunk_labels
+from repro.experiments.report import render_series
+
+
+@pytest.fixture(scope="module")
+def measurements(pool):
+    out = {}
+    for label in ["conventional"] + chunk_labels():
+        out[label] = {
+            scale: pool.measure(label, scale) for scale in BENCH_SCALES
+        }
+    return out
+
+
+class TestFigure9:
+    def test_report(self, benchmark, measurements, report):
+        series = {
+            label: [(scale, m.warm_ms) for scale, m in points.items()]
+            for label, points in measurements.items()
+        }
+        benchmark.pedantic(lambda: None, rounds=1)
+        report(
+            "fig9_warm_cache",
+            render_series(
+                "Figure 9: Response Times with Warm Cache (simulated ms)",
+                "q2_scale",
+                series,
+            ),
+        )
+
+    def test_narrow_chunks_slowest(self, measurements):
+        at_90 = {label: m[90].warm_ms for label, m in measurements.items()}
+        assert at_90["chunk3"] == max(at_90.values())
+
+    def test_conventional_fastest(self, measurements):
+        at_90 = {label: m[90].warm_ms for label, m in measurements.items()}
+        assert at_90["conventional"] == min(at_90.values())
+
+    def test_width15_halves_width3(self, measurements):
+        ratio = (
+            measurements["chunk15"][90].warm_ms
+            / measurements["chunk3"][90].warm_ms
+        )
+        assert ratio < 0.6  # paper: "cut in half"
+
+    def test_wide_chunks_competitive_with_conventional(self, measurements):
+        """'Chunk Tables get wider ... becomes competitive with
+        conventional tables well before the width of the Universal Table
+        is reached.'"""
+        ratio = (
+            measurements["chunk90"][90].warm_ms
+            / measurements["conventional"][90].warm_ms
+        )
+        assert ratio < 3.0
+
+    def test_times_grow_with_scale_for_narrow_chunks(self, measurements):
+        times = [measurements["chunk3"][s].warm_ms for s in BENCH_SCALES]
+        assert times == sorted(times)
+
+    def test_warm_cache_means_no_physical_reads(self, measurements):
+        for label, points in measurements.items():
+            for m in points.values():
+                assert m.physical_reads == 0
+
+    def test_benchmark_q2_wallclock_narrow_vs_wide(self, benchmark, pool):
+        exp = pool.experiment("chunk15")
+        from repro.experiments.chunkqueries import TENANT, q2_sql
+
+        sql = exp.mtd.transform_sql(TENANT, q2_sql(30))
+        exp.mtd.db.execute(sql, [1])
+
+        def run():
+            return exp.mtd.db.execute(sql, [1])
+
+        result = benchmark(run)
+        assert result.rows

@@ -1,0 +1,74 @@
+"""Section 6.2, "Additional Tests" — grouping queries over chunks.
+
+"Queries on the narrowest chunks could be as much as an order of
+magnitude slower than queries on the conventional tables, with queries
+on the wider chunks filling the range in between."
+"""
+
+import pytest
+
+from conftest import chunk_labels
+from repro.experiments.report import render_table
+
+
+@pytest.fixture(scope="module")
+def grouping_times(pool):
+    times = {"conventional": pool.experiment("conventional").measure_grouping()}
+    for label in chunk_labels():
+        times[label] = pool.experiment(label).measure_grouping()
+    return times
+
+
+class TestGroupingQueries:
+    def test_report(self, benchmark, grouping_times, report):
+        conventional = grouping_times["conventional"]
+        rows = [
+            (label, round(ms, 2), round(ms / conventional, 1))
+            for label, ms in grouping_times.items()
+        ]
+        benchmark.pedantic(lambda: None, rounds=1)
+        report(
+            "grouping_queries",
+            render_table(
+                "Additional Tests: grouping query, simulated ms by layout",
+                ["layout", "sim ms", "x conventional"],
+                rows,
+            ),
+        )
+
+    def test_narrowest_chunks_much_slower(self, grouping_times):
+        ratio = grouping_times["chunk3"] / grouping_times["conventional"]
+        assert ratio > 4.0  # paper: "as much as an order of magnitude"
+
+    def test_wider_chunks_fill_the_range(self, grouping_times):
+        assert (
+            grouping_times["chunk90"]
+            < grouping_times["chunk15"]
+            <= grouping_times["chunk3"]
+        )
+
+    def test_all_layouts_agree(self, pool):
+        from repro.experiments.chunkqueries import (
+            TENANT,
+            ChunkQueryExperiment,
+        )
+
+        sql = ChunkQueryExperiment.grouping_sql()
+
+        reference = None
+        for label in ("conventional", "chunk3", "chunk90"):
+            rows = pool.experiment(label).mtd.execute(TENANT, sql).rows
+            grouped = sorted(rows)
+            if reference is None:
+                reference = grouped
+            else:
+                assert grouped == reference
+
+    def test_benchmark_grouping_wallclock(self, benchmark, pool):
+        exp = pool.experiment("chunk15")
+
+        def run():
+            return exp.measure_grouping(repetitions=1)
+
+        ms = benchmark(run)
+        assert ms > 0

@@ -1,0 +1,157 @@
+"""Section 6.2, Test 1 — transformation and nesting.
+
+The transformed (nested) query is fed to both optimizer profiles:
+
+* the ADVANCED profile (DB2-like) unnests it — no materialization, the
+  selective predicate is pushed into the chunk accesses;
+* the SIMPLE profile (MySQL-like) materializes the reconstruction
+  before filtering — a measurable penalty — and, on the flattened form,
+  its plan follows textual predicate order: putting the original
+  query's predicates before the meta-data predicates outperforms the
+  reverse ordering (the paper measured a factor of 5).
+"""
+
+import pytest
+
+from repro import PredicateOrder
+from repro.engine.explain import plan_shape
+from repro.engine.optimizer import OptimizerProfile
+from repro.experiments.chunkqueries import TENANT, q2_sql
+from repro.experiments.report import render_table
+
+
+@pytest.fixture(scope="module")
+def experiment(pool):
+    return pool.experiment("chunk6")
+
+
+def measure_logical_reads(experiment, sql_text, params):
+    db = experiment.mtd.db
+    db.execute(sql_text, params)  # warm
+    before = db.pool_stats.snapshot()
+    exec_before = db.exec_stats.snapshot()
+    db.execute(sql_text, params)
+    pool_delta = db.pool_stats.delta(before)
+    ms = experiment.cost_model.response_ms(
+        pool_delta, db.exec_stats.delta(exec_before)
+    )
+    return pool_delta.logical_total, ms
+
+
+class TestNesting:
+    def test_advanced_unnests(self, experiment):
+        experiment.mtd.db.profile = OptimizerProfile.ADVANCED
+        sql = experiment.mtd.transform_sql(TENANT, q2_sql(3))
+        shape = plan_shape(experiment.mtd.db.plan(sql))
+        assert "MATERIALIZE" not in shape
+
+    def test_simple_cannot_unnest(self, experiment):
+        db = experiment.mtd.db
+        db.profile = OptimizerProfile.ADVANCED
+        nested = experiment.mtd.transform_sql(TENANT, q2_sql(3))
+        db.profile = OptimizerProfile.SIMPLE
+        try:
+            shape = plan_shape(db.plan(nested))
+        finally:
+            db.profile = OptimizerProfile.ADVANCED
+        assert "MATERIALIZE" in shape
+
+    def test_materialization_penalty(self, benchmark, experiment, report):
+        db = experiment.mtd.db
+        db.profile = OptimizerProfile.ADVANCED
+        nested = experiment.mtd.transform_sql(TENANT, q2_sql(3))
+        advanced_reads, advanced_ms = measure_logical_reads(
+            experiment, nested, [1]
+        )
+        db.profile = OptimizerProfile.SIMPLE
+        simple_reads, simple_ms = benchmark.pedantic(
+            measure_logical_reads, args=(experiment, nested, [1]), rounds=2
+        )
+        db.profile = OptimizerProfile.ADVANCED
+        report(
+            "test1_nesting",
+            render_table(
+                "Test 1: nested transformed query, by optimizer profile",
+                ["profile", "logical reads", "sim ms"],
+                [
+                    ("ADVANCED (unnests)", advanced_reads, round(advanced_ms, 2)),
+                    ("SIMPLE (materializes)", simple_reads, round(simple_ms, 2)),
+                ],
+            ),
+        )
+        assert simple_reads > advanced_reads * 2
+
+
+class TestPredicateOrder:
+    """Flattened queries on the SIMPLE profile: predicate order matters."""
+
+    @pytest.fixture(scope="class")
+    def flat_queries(self, experiment):
+        mtd = experiment.mtd
+        mtd.db.profile = OptimizerProfile.SIMPLE
+        queries = {}
+        for order in (PredicateOrder.ORIGINAL_FIRST, PredicateOrder.METADATA_FIRST):
+            mtd.predicate_order = order
+            queries[order] = mtd.transform_sql(TENANT, q2_sql(3))
+        mtd.db.profile = OptimizerProfile.ADVANCED
+        mtd.predicate_order = PredicateOrder.ORIGINAL_FIRST
+        return queries
+
+    def test_orderings_agree_on_answers(self, experiment, flat_queries):
+        db = experiment.mtd.db
+        db.profile = OptimizerProfile.SIMPLE
+        try:
+            results = {
+                order: sorted(db.execute(sql, [2]).rows)
+                for order, sql in flat_queries.items()
+            }
+        finally:
+            db.profile = OptimizerProfile.ADVANCED
+        first, second = results.values()
+        assert first == second
+
+    def test_original_first_outperforms_metadata_first(
+        self, benchmark, experiment, flat_queries, report
+    ):
+        db = experiment.mtd.db
+        db.profile = OptimizerProfile.SIMPLE
+        try:
+            good_reads, good_ms = measure_logical_reads(
+                experiment, flat_queries[PredicateOrder.ORIGINAL_FIRST], [2]
+            )
+            bad_reads, bad_ms = benchmark.pedantic(
+                measure_logical_reads,
+                args=(experiment, flat_queries[PredicateOrder.METADATA_FIRST], [2]),
+                rounds=2,
+            )
+        finally:
+            db.profile = OptimizerProfile.ADVANCED
+        factor = bad_ms / max(good_ms, 1e-9)
+        report(
+            "test1_predicate_order",
+            render_table(
+                "Test 1: flattened query on the SIMPLE profile, by "
+                "predicate ordering (paper: latter ordering won by 5x)",
+                ["ordering", "logical reads", "sim ms"],
+                [
+                    ("original-first (mimics DB2)", good_reads, round(good_ms, 2)),
+                    ("metadata-first", bad_reads, round(bad_ms, 2)),
+                ],
+            )
+            + f"\n\nslowdown factor of metadata-first: {factor:.1f}x",
+        )
+        assert factor > 1.5  # paper: ~5x
+
+    def test_benchmark_flattened_execution(self, benchmark, experiment, flat_queries):
+        db = experiment.mtd.db
+        db.profile = OptimizerProfile.SIMPLE
+        sql = flat_queries[PredicateOrder.ORIGINAL_FIRST]
+
+        def run():
+            return db.execute(sql, [2])
+
+        try:
+            result = benchmark(run)
+        finally:
+            db.profile = OptimizerProfile.ADVANCED
+        assert result.rows

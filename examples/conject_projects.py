@@ -1,0 +1,173 @@
+"""The Section 2 case study: a hosted project-management service.
+
+Conject (the paper's case for extensibility) runs collaborative project
+workspaces for the construction and real-estate industries.  Its future
+plans — letting participants attach additional attributes, states, and
+transitions to objects, per project — are exactly the extensibility
+problem schema mapping solves.  This example models that service:
+organizations are tenants; workspaces, documents, tasks, and bids are
+the base schema; industry-specific process extensions (defect
+management, claim tracking) are tenant extensions; and one organization
+later migrates to a different physical representation without downtime
+for anyone else.
+
+Run:  python examples/conject_projects.py
+"""
+
+from repro import Extension, LogicalColumn, LogicalTable, MultiTenantDatabase
+from repro.engine.values import BOOLEAN, DATE, DOUBLE, INTEGER, varchar
+
+
+def define_schema(mtd: MultiTenantDatabase) -> None:
+    mtd.define_table(
+        LogicalTable(
+            "project",
+            (
+                LogicalColumn("id", INTEGER, indexed=True, not_null=True),
+                LogicalColumn("name", varchar(60)),
+                LogicalColumn("site", varchar(60)),
+                LogicalColumn("started", DATE),
+                LogicalColumn("budget", DOUBLE),
+            ),
+        )
+    )
+    mtd.define_table(
+        LogicalTable(
+            "document",
+            (
+                LogicalColumn("id", INTEGER, indexed=True, not_null=True),
+                LogicalColumn("project", INTEGER, indexed=True),
+                LogicalColumn("title", varchar(80)),
+                LogicalColumn("uploaded", DATE),
+                LogicalColumn("shared", BOOLEAN),
+            ),
+        )
+    )
+    mtd.define_table(
+        LogicalTable(
+            "task",
+            (
+                LogicalColumn("id", INTEGER, indexed=True, not_null=True),
+                LogicalColumn("project", INTEGER, indexed=True),
+                LogicalColumn("title", varchar(80)),
+                LogicalColumn("assignee", varchar(40)),
+                LogicalColumn("state", varchar(20), indexed=True),
+                LogicalColumn("due", DATE),
+            ),
+        )
+    )
+    mtd.define_table(
+        LogicalTable(
+            "bid",
+            (
+                LogicalColumn("id", INTEGER, indexed=True, not_null=True),
+                LogicalColumn("project", INTEGER, indexed=True),
+                LogicalColumn("bidder", varchar(60)),
+                LogicalColumn("amount", DOUBLE),
+                LogicalColumn("accepted", BOOLEAN),
+            ),
+        )
+    )
+    # "Current plans are to allow participants to associate an object
+    # with additional attributes, a set of states, and allowable
+    # transitions between those states."
+    mtd.define_extension(
+        Extension(
+            "defect_mgmt",
+            "task",
+            (
+                LogicalColumn("defect_class", varchar(30)),
+                LogicalColumn("severity", INTEGER),
+                LogicalColumn("inspection_due", DATE),
+            ),
+        )
+    )
+    mtd.define_extension(
+        Extension(
+            "claims",
+            "bid",
+            (
+                LogicalColumn("claim_ref", varchar(30)),
+                LogicalColumn("claim_amount", DOUBLE),
+            ),
+        )
+    )
+
+
+def main() -> None:
+    mtd = MultiTenantDatabase(layout="chunk_folding", width=6)
+    define_schema(mtd)
+
+    # Organizations = tenants.
+    mtd.create_tenant(1)  # architect collective, plain schema
+    mtd.create_tenant(2, extensions=("defect_mgmt",))  # general contractor
+    mtd.create_tenant(3, extensions=("defect_mgmt", "claims"))  # builder
+
+    # Workspaces and activity.
+    mtd.insert(1, "project", {"id": 1, "name": "Riverside Tower",
+                              "site": "Munich", "started": "2007-04-02",
+                              "budget": 48_000_000.0})
+    mtd.insert(2, "project", {"id": 1, "name": "Harbor Bridge Retrofit",
+                              "site": "Hamburg", "started": "2006-11-20",
+                              "budget": 120_000_000.0})
+    mtd.insert(2, "task", {"id": 1, "project": 1,
+                           "title": "Pier 4 inspection",
+                           "assignee": "weber", "state": "open",
+                           "due": "2008-07-01",
+                           "defect_class": "corrosion", "severity": 4,
+                           "inspection_due": "2008-06-20"})
+    mtd.insert(2, "task", {"id": 2, "project": 1,
+                           "title": "Deck survey", "assignee": "klein",
+                           "state": "closed", "due": "2008-05-10",
+                           "defect_class": "cracking", "severity": 2,
+                           "inspection_due": "2008-05-01"})
+    mtd.insert(3, "bid", {"id": 1, "project": 7, "bidder": "steelworks gmbh",
+                          "amount": 2_500_000.0, "accepted": True,
+                          "claim_ref": "CL-2008-017",
+                          "claim_amount": 130_000.0})
+
+    print("Contractor (tenant 2) tracks defects through its extension:")
+    result = mtd.execute(
+        2,
+        "SELECT title, defect_class, severity FROM task "
+        "WHERE state = 'open' AND severity >= 3",
+    )
+    for row in result.rows:
+        print(f"  {row}")
+    print()
+
+    print("Builder (tenant 3) joins bids with claims:")
+    result = mtd.execute(
+        3,
+        "SELECT bidder, amount, claim_ref, claim_amount FROM bid "
+        "WHERE accepted = TRUE",
+    )
+    for row in result.rows:
+        print(f"  {row}")
+    print()
+
+    print("The architects (tenant 1) never see those columns:")
+    lookup = mtd.schema.logical_lookup(1)
+    print(f"  tenant 1's task columns: {lookup('task')}")
+    print()
+
+    # Growth: the contractor becomes a whale and gets migrated to
+    # private tables — on the fly, nobody else notices.
+    print("Migrating tenant 2 to the Private Table Layout on-the-fly...")
+    moved = mtd.migrate_tenant(2, "private")
+    print(f"  rows moved per table: {moved}")
+    result = mtd.execute(
+        2, "SELECT title FROM task WHERE defect_class = 'corrosion'"
+    )
+    print(f"  tenant 2 still sees its data: {result.rows}")
+    result = mtd.execute(3, "SELECT COUNT(*) FROM bid")
+    print(f"  tenant 3 untouched: {result.rows[0][0]} bids")
+    print()
+
+    print("Physical tables now:")
+    for table in sorted(t.name for t in mtd.db.catalog.tables()):
+        print(f"  {table}")
+
+
+if __name__ == "__main__":
+    main()

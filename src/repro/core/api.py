@@ -1,0 +1,256 @@
+"""Public facade: a multi-tenant database behind one object.
+
+>>> from repro import MultiTenantDatabase, LogicalTable, LogicalColumn, Extension
+>>> from repro.engine.values import INTEGER, varchar
+>>> mtd = MultiTenantDatabase(layout="chunk_folding")
+>>> mtd.define_table(LogicalTable("account", (
+...     LogicalColumn("aid", INTEGER, indexed=True, not_null=True),
+...     LogicalColumn("name", varchar(50)),
+... )))
+>>> mtd.define_extension(Extension("healthcare", "account", (
+...     LogicalColumn("hospital", varchar(50)),
+...     LogicalColumn("beds", INTEGER),
+... )))
+>>> mtd.create_tenant(17, extensions=("healthcare",))
+>>> _ = mtd.insert(17, "account", {"aid": 1, "name": "Acme",
+...                                "hospital": "St. Mary", "beds": 135})
+>>> mtd.execute(17, "SELECT beds FROM account WHERE hospital = ?",
+...             ["St. Mary"]).rows
+[(135,)]
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..engine.database import Database, Result
+from ..engine.errors import PlanError
+from ..engine.optimizer import OptimizerProfile
+from ..engine.sql import ast
+from ..engine.sql.parser import parse_statement
+from ..engine.values import parse_type
+from .layouts import make_layout
+from .layouts.base import Layout
+from .metadata import MetadataReport
+from .migration import Migrator
+from .schema import Extension, LogicalColumn, LogicalTable, MultiTenantSchema
+from .transform.dml import DmlTransformer, UpdateMode
+from .transform.flatten import (
+    PredicateOrder,
+    flatten_transformed,
+    order_predicates,
+)
+from .transform.query import QueryTransformer
+
+
+class MultiTenantDatabase:
+    """One multi-tenant database: a layout over an engine instance.
+
+    ``layout`` picks the schema-mapping technique (see
+    :mod:`repro.core.layouts`); extra keyword arguments are forwarded to
+    the layout (e.g. ``width=6`` for chunked layouts).  When the engine
+    runs the SIMPLE optimizer profile, transformed queries are flattened
+    before execution (Test 1's workaround) using ``predicate_order``.
+    """
+
+    def __init__(
+        self,
+        layout: str = "chunk_folding",
+        *,
+        db: Database | None = None,
+        flatten_for_simple: bool = True,
+        predicate_order: PredicateOrder = PredicateOrder.ORIGINAL_FIRST,
+        update_mode: UpdateMode = UpdateMode.BUFFERED,
+        **layout_options,
+    ) -> None:
+        self.db = db if db is not None else Database()
+        self.schema = MultiTenantSchema()
+        self.layout = make_layout(layout, self.db, self.schema, **layout_options)
+        self.layout.bootstrap()
+        self.flatten_for_simple = flatten_for_simple
+        self.predicate_order = predicate_order
+        self.update_mode = update_mode
+        self._overrides: dict[int, Layout] = {}
+        self._migrator = Migrator(self.schema)
+
+    # -- schema administration ------------------------------------------------
+
+    def define_table(self, table: LogicalTable) -> None:
+        """Register (and physically provision) a base table."""
+        self.schema.add_table(table)
+        for layout in self._all_layouts():
+            layout.on_table_added(table)
+
+    def define_extension(self, extension: Extension) -> None:
+        self.schema.add_extension(extension)
+        for layout in self._all_layouts():
+            layout.on_extension_added(extension)
+
+    def create_tenant(self, tenant_id: int, extensions: Sequence[str] = ()) -> None:
+        config = self.schema.add_tenant(tenant_id, tuple(extensions))
+        self.layout.on_tenant_added(config)
+
+    def drop_tenant(self, tenant_id: int) -> None:
+        """Remove a tenant and physically purge its data."""
+        layout = self.layout_for(tenant_id)
+        for table in self.schema.tables():
+            for fragment in layout.fragments(tenant_id, table.name):
+                predicate = None
+                for meta_col, value in fragment.meta:
+                    conjunct = ast.BinaryOp(
+                        "=", ast.ColumnRef(None, meta_col), ast.Literal(value)
+                    )
+                    predicate = (
+                        conjunct
+                        if predicate is None
+                        else ast.BinaryOp("AND", predicate, conjunct)
+                    )
+                if predicate is not None:
+                    self.db.execute(ast.Delete(fragment.table, predicate).sql())
+        config = self.schema.remove_tenant(tenant_id)
+        layout.on_tenant_removed(config)
+        self._overrides.pop(tenant_id, None)
+
+    def grant_extension(self, tenant_id: int, extension_name: str) -> None:
+        """Subscribe a tenant to an extension while the system is online."""
+        self.schema.grant_extension(tenant_id, extension_name)
+        self.layout_for(tenant_id).on_extension_granted(
+            self.schema.tenant(tenant_id), self.schema.extension(extension_name)
+        )
+
+    def alter_extension(
+        self, extension_name: str, new_columns: Sequence[LogicalColumn]
+    ) -> None:
+        """Widen an extension online (§6.3 ALTER).  Existing rows read
+        NULL for the new columns; generic layouts do this as pure
+        bookkeeping (plus NULL backfill), conventional layouts rebuild
+        their affected tables."""
+        altered = self.schema.alter_extension(
+            extension_name, tuple(new_columns)
+        )
+        for layout in self._all_layouts():
+            layout.on_extension_altered(altered, tuple(new_columns))
+
+    # -- per-tenant layout overrides (on-the-fly migration) ----------------------
+
+    def layout_for(self, tenant_id: int) -> Layout:
+        return self._overrides.get(tenant_id, self.layout)
+
+    def _all_layouts(self) -> list[Layout]:
+        seen: list[Layout] = [self.layout]
+        for layout in self._overrides.values():
+            if layout not in seen:
+                seen.append(layout)
+        return seen
+
+    def migrate_tenant(self, tenant_id: int, layout_name: str, **options) -> dict:
+        """Move one tenant to a different representation on-the-fly.
+
+        Returns rows moved per table.  Other tenants keep the default
+        layout; this tenant's queries follow it immediately.
+        """
+        source = self.layout_for(tenant_id)
+        target = make_layout(layout_name, self.db, self.schema, **options)
+        target.bootstrap()
+        # Replay schema history into the new layout; physical structures
+        # that already exist (shared chunk tables, ...) are reused.
+        for table in self.schema.tables():
+            target.on_table_added(table)
+        for extension in self.schema.extensions():
+            target.on_extension_added(extension)
+        target.on_tenant_added(self.schema.tenant(tenant_id))
+        moved = self._migrator.migrate_tenant(tenant_id, source, target)
+        self._overrides[tenant_id] = target
+        return moved
+
+    # -- statements -----------------------------------------------------------------
+
+    def transform_sql(self, tenant_id: int, sql: str) -> str:
+        """The physical SQL a logical SELECT turns into (step 4 output,
+        flattened when the engine optimizer is SIMPLE)."""
+        stmt = parse_statement(sql)
+        if not isinstance(stmt, ast.Select):
+            raise PlanError("transform_sql takes a SELECT")
+        return self._physical_select(tenant_id, stmt).sql()
+
+    def _physical_select(self, tenant_id: int, stmt: ast.Select) -> ast.Select:
+        transformer = QueryTransformer(self.layout_for(tenant_id), self.schema)
+        physical = transformer.transform_select(tenant_id, stmt)
+        if (
+            self.db.profile is OptimizerProfile.SIMPLE
+            and self.flatten_for_simple
+        ):
+            physical = flatten_transformed(physical, self._physical_lookup)
+            physical = order_predicates(physical, self.predicate_order)
+        return physical
+
+    def _physical_lookup(self, table_name: str) -> list[str]:
+        return [c.lname for c in self.db.catalog.table(table_name).columns]
+
+    def execute(
+        self, tenant_id: int, sql: str, params: Sequence[object] = ()
+    ) -> Result:
+        """Run a logical statement on behalf of a tenant."""
+        self.schema.tenant(tenant_id)  # validates
+        stmt = parse_statement(sql)
+        layout = self.layout_for(tenant_id)
+        if isinstance(stmt, ast.Select):
+            physical = self._physical_select(tenant_id, stmt)
+            return self.db.execute(physical.sql(), params)
+        dml = DmlTransformer(layout, self.schema)
+        if isinstance(stmt, ast.Insert):
+            count = dml.insert(tenant_id, stmt, params)
+            return Result([], [], count)
+        if isinstance(stmt, ast.Update):
+            count = dml.update(tenant_id, stmt, params, self.update_mode)
+            return Result([], [], count)
+        if isinstance(stmt, ast.Delete):
+            count = dml.delete(tenant_id, stmt, params, self.update_mode)
+            return Result([], [], count)
+        if isinstance(stmt, ast.CreateTable):
+            table = LogicalTable(
+                stmt.table,
+                tuple(
+                    LogicalColumn(
+                        c.name, parse_type(c.type_text), not_null=c.not_null
+                    )
+                    for c in stmt.columns
+                ),
+            )
+            self.define_table(table)
+            return Result([], [], 0)
+        raise PlanError(
+            f"unsupported logical statement {type(stmt).__name__}"
+        )
+
+    def insert(
+        self,
+        tenant_id: int,
+        table_name: str,
+        values: dict,
+        *,
+        row_id: int | None = None,
+    ) -> int:
+        """Insert one logical row from a mapping; returns its Row id."""
+        self.schema.tenant(tenant_id)
+        dml = DmlTransformer(self.layout_for(tenant_id), self.schema)
+        return dml.insert_values(tenant_id, table_name, values, row_id=row_id)
+
+    def restore(self, tenant_id: int, table_name: str, row_ids: list[int]) -> int:
+        """Bring soft-deleted rows back from the Trashcan."""
+        dml = DmlTransformer(self.layout_for(tenant_id), self.schema)
+        return dml.restore(tenant_id, table_name, row_ids)
+
+    def purge_trashcan(self, tenant_id: int, table_name: str) -> int:
+        """Physically delete a tenant's soft-deleted rows."""
+        dml = DmlTransformer(self.layout_for(tenant_id), self.schema)
+        return dml.purge_trashcan(tenant_id, table_name)
+
+    # -- introspection ------------------------------------------------------------
+
+    def report(self) -> MetadataReport:
+        return self.layout.report()
+
+    def explain(self, tenant_id: int, sql: str) -> str:
+        """Engine plan for the transformed query."""
+        return self.db.explain(self.transform_sql(tenant_id, sql))

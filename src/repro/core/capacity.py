@@ -1,0 +1,126 @@
+"""Capacity planning: how many tenants fit one database (Figure 2).
+
+Figure 2 plots the number of tenants per database against application
+complexity and host size: ~10,000 email tenants on a blade, ~100 CRM
+tenants, down to ~10 for ERP — and 100x more on "big iron".  The paper
+derives these from the same mechanism Experiment 1 measures: each table
+costs fixed meta-data memory (4 KB in DB2 V9.1) plus buffer-pool space
+for its working set, so the table count the host can afford bounds
+consolidation.
+
+:class:`CapacityModel` makes that arithmetic explicit and reusable for
+provisioning decisions: given a host's memory and an application
+profile (tables, indexes, and working set per tenant; how tables are
+shared), estimate the supportable tenant count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..engine.catalog import INDEX_METADATA_COST, TABLE_METADATA_COST
+from ..engine.errors import PlanError
+from ..engine.pager import DEFAULT_PAGE_SIZE
+
+
+@dataclass(frozen=True)
+class ApplicationProfile:
+    """How one tenant of an application class loads the database."""
+
+    name: str
+    #: Logical tables the application schema has.
+    tables: int
+    #: Indexes per table (primary + compound + reporting).
+    indexes_per_table: float
+    #: Hot working-set bytes per tenant the buffer pool must hold for
+    #: acceptable response times.
+    working_set_bytes: int
+    #: Fraction of tenants needing private (unshared) tables — complex
+    #: applications favour extensibility/isolation (Section 1.1).
+    private_fraction: float = 0.0
+
+
+#: Application classes along Figure 2's complexity axis.  Working sets
+#: and sharing follow the paper's narrative: simple apps share
+#: everything; ERP-class apps effectively demand private schemas.
+FIGURE2_PROFILES = (
+    ApplicationProfile("email", tables=5, indexes_per_table=1,
+                       working_set_bytes=24 * 1024, private_fraction=0.0),
+    ApplicationProfile("collaboration", tables=10, indexes_per_table=2,
+                       working_set_bytes=96 * 1024, private_fraction=0.0),
+    ApplicationProfile("crm_srm", tables=10, indexes_per_table=3,
+                       working_set_bytes=1_400 * 1024, private_fraction=0.1),
+    ApplicationProfile("hcm", tables=25, indexes_per_table=3,
+                       working_set_bytes=4_000 * 1024, private_fraction=0.4),
+    ApplicationProfile("erp", tables=60, indexes_per_table=4,
+                       working_set_bytes=16_000 * 1024, private_fraction=1.0),
+)
+
+#: Host classes (memory) along Figure 2's other axis.
+BLADE_MEMORY = 1 * 1024 * 1024 * 1024
+BIG_IRON_MEMORY = 100 * 1024 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class CapacityModel:
+    """Meta-data-budget capacity arithmetic."""
+
+    memory_bytes: int
+    page_size: int = DEFAULT_PAGE_SIZE
+    table_metadata_cost: int = TABLE_METADATA_COST
+    index_metadata_cost: int = INDEX_METADATA_COST
+    #: Fraction of memory that must remain for the buffer pool after
+    #: meta-data; beyond this the Experiment 1 collapse begins.
+    min_buffer_fraction: float = 0.5
+
+    def table_cost(self, profile: ApplicationProfile) -> float:
+        """Meta-data bytes one table (plus its indexes) consumes."""
+        return (
+            self.table_metadata_cost
+            + profile.indexes_per_table * self.index_metadata_cost
+        )
+
+    def max_tables(self) -> int:
+        """Tables affordable before meta-data eats into the reserved
+        buffer fraction (the ~50,000-table knee on a 1 GB blade)."""
+        budget = self.memory_bytes * (1.0 - self.min_buffer_fraction)
+        return int(budget // self.table_metadata_cost)
+
+    def max_tenants(self, profile: ApplicationProfile) -> int:
+        """Supportable tenants for an application profile.
+
+        Two resources bound the count:
+
+        * meta-data — private tenants add ``tables`` tables each, shared
+          tenants amortize one schema instance across everyone;
+        * buffer pool — every tenant's working set must fit in what the
+          meta-data leaves over.
+        """
+        if not 0.0 <= profile.private_fraction <= 1.0:
+            raise PlanError("private_fraction must be in [0, 1]")
+        budget = self.memory_bytes * (1.0 - self.min_buffer_fraction)
+        shared_schema_cost = profile.tables * self.table_cost(profile)
+        per_private_tenant = profile.private_fraction * shared_schema_cost
+        metadata_budget = budget - shared_schema_cost
+        if metadata_budget <= 0:
+            return 0
+        if per_private_tenant > 0:
+            metadata_bound = metadata_budget / per_private_tenant
+        else:
+            metadata_bound = float("inf")
+        pool_bytes = self.memory_bytes * self.min_buffer_fraction
+        buffer_bound = pool_bytes / max(1, profile.working_set_bytes)
+        return max(0, int(min(metadata_bound, buffer_bound)))
+
+
+def figure2_estimates(
+    profiles=FIGURE2_PROFILES,
+    hosts=(("blade", BLADE_MEMORY), ("big_iron", BIG_IRON_MEMORY)),
+) -> list[tuple[str, str, int]]:
+    """(application, host, max tenants) rows — Figure 2's grid."""
+    rows = []
+    for host_name, memory in hosts:
+        model = CapacityModel(memory_bytes=memory)
+        for profile in profiles:
+            rows.append((profile.name, host_name, model.max_tenants(profile)))
+    return rows

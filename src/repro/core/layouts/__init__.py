@@ -1,0 +1,47 @@
+"""Schema-mapping layouts (Figure 4 of the paper).
+
+============  =====================================  =================
+Registry key  Class                                  Paper figure
+============  =====================================  =================
+basic         :class:`BasicLayout`                   (described in §3)
+private       :class:`PrivateTableLayout`            Figure 4(a)
+extension     :class:`ExtensionTableLayout`          Figure 4(b)
+universal     :class:`UniversalTableLayout`          Figure 4(c)
+pivot         :class:`PivotTableLayout`              Figure 4(d)
+chunk         :class:`ChunkTableLayout`              Figure 4(e)
+chunk_folding :class:`ChunkFoldingLayout`            Figure 4(f)
+============  =====================================  =================
+"""
+
+from .base import ColumnLoc, Fragment, Layout  # noqa: F401
+from .basic import BasicLayout  # noqa: F401
+from .private import PrivateTableLayout  # noqa: F401
+from .extension import ExtensionTableLayout  # noqa: F401
+from .universal import UniversalTableLayout  # noqa: F401
+from .pivot import PivotTableLayout  # noqa: F401
+from .chunk import ChunkTableLayout  # noqa: F401
+from .chunk_folding import ChunkFoldingLayout  # noqa: F401
+
+LAYOUTS = {
+    cls.name: cls
+    for cls in (
+        BasicLayout,
+        PrivateTableLayout,
+        ExtensionTableLayout,
+        UniversalTableLayout,
+        PivotTableLayout,
+        ChunkTableLayout,
+        ChunkFoldingLayout,
+    )
+}
+
+
+def make_layout(name: str, db, schema, **options) -> Layout:
+    """Instantiate a layout by registry key."""
+    try:
+        cls = LAYOUTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown layout {name!r}; choose from {sorted(LAYOUTS)}"
+        ) from None
+    return cls(db, schema, **options)

@@ -1,0 +1,257 @@
+"""The layout interface and the fragment model.
+
+Every schema-mapping technique in the paper (Figure 4) decomposes a
+tenant's logical table into one or more *fragments*: physical tables
+holding a subset of the logical columns, selected by constant meta-data
+predicates (Tenant / Table / Chunk / Col) and re-aligned through a Row
+column.  Expressing each layout as a fragment list lets one generic
+query-transformation engine (:mod:`repro.core.transform`) serve all of
+them — the layouts differ only in how they produce fragments and
+physical DDL.
+
+Meta-data column naming: the paper's ``Table`` column is a reserved word
+in SQL, so physical tables use ``tbl``; ``Tenant``, ``Chunk``, ``Col``
+and ``Row`` keep their names (lower-cased).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from ...engine.database import Database
+from ...engine.errors import UnknownObjectError
+from ...engine.values import SqlType, TypeKind
+from ..metadata import ColumnIdAllocator, MetadataReport, RowIdAllocator
+from ..schema import Extension, LogicalColumn, LogicalTable, MultiTenantSchema, TenantConfig
+
+#: Name of the row-alignment meta-data column.
+ROW = "row"
+#: Name of the soft-delete marker column (Trashcan support, §6.3).
+ALIVE = "alive"
+
+
+@dataclass(frozen=True)
+class ColumnLoc:
+    """Where one logical column lives inside a fragment.
+
+    ``cast`` names an engine conversion function (``TO_INT`` ...) applied
+    when reading — used by the Universal layout's VARCHAR funnel.
+    ``store`` converts a Python value for writing (None = identity).
+    """
+
+    physical: str
+    cast: str | None = None
+    store: Callable[[object], object] | None = None
+
+    def write(self, value: object) -> object:
+        if self.store is None:
+            return value
+        return self.store(value)
+
+
+@dataclass(frozen=True)
+class Fragment:
+    """One physical table holding a slice of a logical table's columns."""
+
+    table: str
+    meta: tuple[tuple[str, object], ...]  # (meta column, constant) filters
+    columns: tuple[tuple[str, ColumnLoc], ...]  # logical name -> location
+    row_column: str | None = ROW
+
+    def column_map(self) -> dict[str, ColumnLoc]:
+        return dict(self.columns)
+
+    def covers(self, column: str) -> bool:
+        return any(name == column for name, _ in self.columns)
+
+
+class Layout(abc.ABC):
+    """A schema-mapping technique."""
+
+    #: Registry short name, e.g. ``"chunk_folding"``.
+    name: str = "abstract"
+    #: Whether the layout supports tenant-specific extensions at all.
+    supports_extensions: bool = True
+
+    def __init__(
+        self,
+        db: Database,
+        schema: MultiTenantSchema,
+        *,
+        soft_delete: bool = False,
+    ) -> None:
+        self.db = db
+        self.schema = schema
+        self.soft_delete = soft_delete
+        self.rows = RowIdAllocator()
+        self.columns = ColumnIdAllocator()
+        self._created_tables: set[str] = set()
+
+    # -- physical lifecycle (online DDL / bookkeeping) ----------------------
+
+    def bootstrap(self) -> None:
+        """Create fixed generic structures (no-op for conventional layouts)."""
+
+    def on_table_added(self, table: LogicalTable) -> None:
+        self.columns.register_base(table.name, [c.name for c in table.columns])
+
+    def on_extension_added(self, extension: Extension) -> None:
+        self.columns.register_extension(
+            extension.base_table, [c.name for c in extension.columns]
+        )
+
+    def on_tenant_added(self, config: TenantConfig) -> None:
+        """Per-tenant physical structures (Private layout creates tables)."""
+
+    def on_tenant_removed(self, config: TenantConfig) -> None:
+        self.rows.forget_tenant(config.tenant_id)
+
+    def on_extension_granted(self, config: TenantConfig, extension: Extension) -> None:
+        """React to a tenant subscribing to an extension at run time."""
+
+    def on_extension_altered(
+        self, extension: Extension, new_columns: tuple[LogicalColumn, ...]
+    ) -> None:
+        """React to an extension being widened online (§6.3: "Other
+        operations like DROP or ALTER statements can be evaluated
+        on-line as well ... only the application logic has to do the
+        respective bookkeeping").
+
+        Registers the new column ids and NULL-backfills any fragment
+        that holds *only* new columns: reconstruction inner-joins on
+        Row, so every logical row needs a row in every fragment.
+        """
+        self.columns.register_extension(
+            extension.base_table, [c.name for c in new_columns]
+        )
+        self._backfill_new_fragments(extension, new_columns)
+
+    def _backfill_new_fragments(
+        self, extension: Extension, new_columns: tuple[LogicalColumn, ...]
+    ) -> None:
+        new_names = {c.lname for c in new_columns}
+        for tenant_id in self.schema.tenants_with_extension(extension.name):
+            fragments = self.fragments(tenant_id, extension.base_table)
+            anchor = fragments[0]
+            if anchor.row_column is None:
+                continue  # conventional layouts rebuild tables themselves
+            targets = [
+                f
+                for f in fragments
+                if f.columns
+                and all(name in new_names for name, _ in f.columns)
+            ]
+            if not targets:
+                continue
+            where = " AND ".join(
+                f"{col} = {value!r}" for col, value in anchor.meta
+            ) or "1 = 1"
+            select_cols = anchor.row_column
+            if self.soft_delete:
+                select_cols += f", {ALIVE}"
+            rows = self.db.execute(
+                f"SELECT {select_cols} FROM {anchor.table} WHERE {where}"
+            ).rows
+            for fragment in targets:
+                for row in rows:
+                    names = [col for col, _ in fragment.meta]
+                    values: list[object] = [v for _, v in fragment.meta]
+                    names.append(fragment.row_column)
+                    values.append(row[0])
+                    if self.soft_delete:
+                        names.append(ALIVE)
+                        values.append(row[1])
+                    placeholders = ", ".join("?" for _ in values)
+                    self.db.execute(
+                        f"INSERT INTO {fragment.table} "
+                        f"({', '.join(names)}) VALUES ({placeholders})",
+                        values,
+                    )
+
+    # -- the fragment model ---------------------------------------------------
+
+    @abc.abstractmethod
+    def fragments(self, tenant_id: int, table_name: str) -> list[Fragment]:
+        """The physical fragments of this tenant's view of a table.
+
+        Fragment order matters: the first fragment is the *anchor* used
+        when a query touches no columns at all (e.g. ``COUNT(*)``), and
+        row-alignment joins chain off it.
+        """
+
+    # -- helpers shared by concrete layouts --------------------------------------
+
+    def _ensure_table(self, name: str, ddl: str, indexes: Iterable[str] = ()) -> bool:
+        """Create a physical table once; True when created now."""
+        key = name.lower()
+        if key in self._created_tables or self.db.catalog.has_table(name):
+            self._created_tables.add(key)
+            return False
+        self.db.execute(ddl)
+        for index_sql in indexes:
+            self.db.execute(index_sql)
+        self._created_tables.add(key)
+        return True
+
+    def _drop_table(self, name: str) -> None:
+        self._created_tables.discard(name.lower())
+        if self.db.catalog.has_table(name):
+            self.db.execute(f"DROP TABLE {name}")
+
+    def _alive_ddl(self) -> str:
+        return f", {ALIVE} INTEGER NOT NULL" if self.soft_delete else ""
+
+    def report(self) -> MetadataReport:
+        return MetadataReport(
+            layout=self.name,
+            physical_tables=self.db.catalog.table_count,
+            physical_indexes=self.db.catalog.index_count,
+            metadata_bytes=self.db.catalog.metadata_bytes,
+            buffer_pool_pages=self.db.buffer_pool_pages,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Slot typing shared by Pivot / Chunk layouts
+# ---------------------------------------------------------------------------
+
+#: Generic slot families: a logical type maps to one of these.
+SLOT_FAMILIES = ("int", "str", "date", "dbl")
+
+#: Declared SQL type of each slot family in generic tables.
+SLOT_DDL = {
+    "int": "BIGINT",
+    "str": "VARCHAR(255)",
+    "date": "DATE",
+    "dbl": "DOUBLE",
+}
+
+
+def slot_family(sql_type: SqlType) -> str:
+    """Which generic slot family stores values of this logical type."""
+    kind = sql_type.kind
+    if kind in (TypeKind.INTEGER, TypeKind.BIGINT, TypeKind.BOOLEAN):
+        return "int"
+    if kind is TypeKind.VARCHAR:
+        return "str"
+    if kind is TypeKind.DATE:
+        return "date"
+    if kind is TypeKind.DOUBLE:
+        return "dbl"
+    raise UnknownObjectError(f"no slot family for {sql_type}")
+
+
+def slot_store(sql_type: SqlType) -> Callable[[object], object] | None:
+    """Write-side conversion into a slot (bools become 0/1 ints)."""
+    if sql_type.kind is TypeKind.BOOLEAN:
+        return lambda v: None if v is None else int(v)
+    return None
+
+
+def slot_cast(sql_type: SqlType) -> str | None:
+    """Read-side cast out of a slot."""
+    if sql_type.kind is TypeKind.BOOLEAN:
+        return "TO_BOOL"
+    return None

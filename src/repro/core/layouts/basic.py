@@ -1,0 +1,69 @@
+"""Basic Layout — add a Tenant column and share tables (Section 3).
+
+"This approach provides very good consolidation but no extensibility"
+— it is what conventional Web applications on the left of Figure 2 use.
+Attempting to grant an extension raises.
+"""
+
+from __future__ import annotations
+
+from ...engine.errors import PlanError
+from ..schema import Extension, LogicalTable, TenantConfig
+from .base import ColumnLoc, Fragment, Layout
+
+
+class BasicLayout(Layout):
+    name = "basic"
+    supports_extensions = False
+
+    def physical_name(self, table_name: str) -> str:
+        return f"{table_name.lower()}_shared"
+
+    def on_table_added(self, table: LogicalTable) -> None:
+        super().on_table_added(table)
+        physical = self.physical_name(table.name)
+        columns = ["tenant INTEGER NOT NULL"]
+        columns += [
+            f"{c.lname} {c.type}" + (" NOT NULL" if c.not_null else "")
+            for c in table.columns
+        ]
+        ddl = (
+            f"CREATE TABLE {physical} ("
+            + ", ".join(columns)
+            + self._alive_ddl()
+            + ")"
+        )
+        indexes = [
+            f"CREATE INDEX {physical}_tenant ON {physical} (tenant)"
+        ] + [
+            f"CREATE INDEX {physical}_{c.lname} ON {physical} (tenant, {c.lname})"
+            for c in table.columns
+            if c.indexed
+        ]
+        self._ensure_table(physical, ddl, indexes)
+
+    def on_extension_added(self, extension: Extension) -> None:
+        raise PlanError(
+            "the Basic layout shares tables among tenants and cannot "
+            "represent extensions (Section 3: 'very good consolidation "
+            "but no extensibility')"
+        )
+
+    def on_tenant_added(self, config: TenantConfig) -> None:
+        if config.extensions:
+            raise PlanError(
+                "the Basic layout cannot host tenants with extensions"
+            )
+
+    def fragments(self, tenant_id: int, table_name: str) -> list[Fragment]:
+        base = self.schema.table(table_name)
+        return [
+            Fragment(
+                table=self.physical_name(table_name),
+                meta=(("tenant", tenant_id),),
+                columns=tuple(
+                    (c.lname, ColumnLoc(c.lname)) for c in base.columns
+                ),
+                row_column=None,
+            )
+        ]

@@ -1,0 +1,123 @@
+"""Extension Table Layout — Figure 4(b).
+
+Base tables and extension tables are shared among tenants; both carry
+the Tenant and Row meta-data columns (the two gray columns of Figure
+4(b)), and logical rows are reconstructed by joining on Row.  Descended
+from the Decomposed Storage Model, but partitioning stops at
+"naturally-occurring groups" of columns rather than single columns.
+"""
+
+from __future__ import annotations
+
+from ..schema import Extension, LogicalTable, TenantConfig
+from .base import ColumnLoc, Fragment, Layout, ROW
+
+
+class ExtensionTableLayout(Layout):
+    name = "extension"
+
+    def base_physical(self, table_name: str) -> str:
+        return f"{table_name.lower()}_ext"
+
+    def extension_physical(self, extension_name: str) -> str:
+        return f"ext_{extension_name.lower()}"
+
+    # -- DDL ---------------------------------------------------------------
+
+    def _table_ddl(self, physical: str, columns, indexed_columns) -> None:
+        parts = [
+            "tenant INTEGER NOT NULL",
+            f"{ROW} INTEGER NOT NULL",
+        ]
+        parts += [
+            f"{c.lname} {c.type}" + (" NOT NULL" if c.not_null else "")
+            for c in columns
+        ]
+        ddl = (
+            f"CREATE TABLE {physical} ("
+            + ", ".join(parts)
+            + self._alive_ddl()
+            + ")"
+        )
+        indexes = [
+            f"CREATE UNIQUE INDEX {physical}_tr ON {physical} (tenant, {ROW})"
+        ] + [
+            f"CREATE INDEX {physical}_{c.lname} ON {physical} (tenant, {c.lname})"
+            for c in indexed_columns
+        ]
+        self._ensure_table(physical, ddl, indexes)
+
+    def on_table_added(self, table: LogicalTable) -> None:
+        super().on_table_added(table)
+        self._table_ddl(
+            self.base_physical(table.name),
+            table.columns,
+            [c for c in table.columns if c.indexed],
+        )
+
+    def on_extension_added(self, extension: Extension) -> None:
+        super().on_extension_added(extension)
+        self._table_ddl(
+            self.extension_physical(extension.name),
+            extension.columns,
+            [c for c in extension.columns if c.indexed],
+        )
+
+    def on_extension_altered(self, extension, new_columns) -> None:
+        """Widen the shared extension table: recreate with the new
+        columns and copy rows — the DDL-shaped cost conventional tables
+        pay that generic layouts avoid."""
+        super().on_extension_altered(extension, new_columns)
+        physical = self.extension_physical(extension.name)
+        if not self.db.catalog.has_table(physical):
+            self._table_ddl(
+                physical,
+                extension.columns,
+                [c for c in extension.columns if c.indexed],
+            )
+            return
+        old_columns = [c.lname for c in self.db.catalog.table(physical).columns]
+        if all(c.lname in old_columns for c in new_columns):
+            return  # already widened (shared across layout instances)
+        rows = self.db.execute(f"SELECT * FROM {physical}").rows
+        self._drop_table(physical)
+        self._table_ddl(
+            physical,
+            extension.columns,
+            [c for c in extension.columns if c.indexed],
+        )
+        pad = (None,) * len(new_columns)
+        names = ", ".join(old_columns + [c.lname for c in new_columns])
+        for row in rows:
+            placeholders = ", ".join("?" for _ in row + pad)
+            self.db.execute(
+                f"INSERT INTO {physical} ({names}) VALUES ({placeholders})",
+                list(row + pad),
+            )
+
+    # -- fragments -------------------------------------------------------------
+
+    def fragments(self, tenant_id: int, table_name: str) -> list[Fragment]:
+        base = self.schema.table(table_name)
+        fragments = [
+            Fragment(
+                table=self.base_physical(table_name),
+                meta=(("tenant", tenant_id),),
+                columns=tuple(
+                    (c.lname, ColumnLoc(c.lname)) for c in base.columns
+                ),
+                row_column=ROW,
+            )
+        ]
+        for extension in self.schema.extensions_of(tenant_id, table_name):
+            fragments.append(
+                Fragment(
+                    table=self.extension_physical(extension.name),
+                    meta=(("tenant", tenant_id),),
+                    columns=tuple(
+                        (c.lname, ColumnLoc(c.lname)) for c in extension.columns
+                    ),
+                    row_column=ROW,
+                )
+            )
+        return fragments

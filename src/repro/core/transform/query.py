@@ -1,0 +1,282 @@
+"""SELECT transformation: the four-step compilation scheme of §6.1.
+
+Given a tenant's logical query, the transformer
+
+1. collects all table names and their used columns,
+2. looks up, per table, the fragments and meta-data identifiers that
+   represent those columns,
+3. generates, per table, a reconstruction query that filters on the
+   meta-data identifiers and aligns fragments on their Row columns
+   (flat, conjunctive-only — so a sophisticated optimizer can always
+   unnest it, Fegaras & Maier rule N8), and
+4. patches each reconstruction into the FROM clause of the logical
+   query as a nested subquery.
+
+The output is ordinary SQL text over physical tables; callers hand it
+to the engine (or, via :mod:`repro.core.transform.flatten`, flatten it
+first for SIMPLE-optimizer databases).
+"""
+
+from __future__ import annotations
+
+from ...engine.errors import PlanError, UnknownObjectError
+from ...engine.plan.logical import (
+    QueryBlock,
+    block_to_select,
+    build_block,
+    qualify_block,
+)
+from ...engine.sql import ast
+from ..layouts.base import ALIVE, Fragment
+from ..schema import MultiTenantSchema
+
+#: Output column name carrying the logical Row id in reconstructions
+#: built for DML (phase (a) of §6.3).
+ROW_ALIAS = "__row"
+
+
+def used_columns(block: QueryBlock) -> dict[str, list[str]]:
+    """Columns referenced per binding, in first-use order.
+
+    ``block`` must be qualified.  First-use order keeps generated
+    reconstruction queries deterministic.
+    """
+    order: dict[str, list[str]] = {}
+
+    def walk(expr) -> None:
+        if isinstance(expr, ast.ColumnRef):
+            if expr.table is not None:
+                bucket = order.setdefault(expr.table.lower(), [])
+                column = expr.column.lower()
+                if column not in bucket:
+                    bucket.append(column)
+        elif isinstance(expr, ast.BinaryOp):
+            walk(expr.left)
+            walk(expr.right)
+        elif isinstance(expr, (ast.UnaryOp, ast.IsNull)):
+            walk(expr.operand)
+        elif isinstance(expr, ast.FuncCall):
+            for arg in expr.args:
+                walk(arg)
+        elif isinstance(expr, ast.InList):
+            walk(expr.operand)
+            for item in expr.items:
+                walk(item)
+        elif isinstance(expr, ast.InSubquery):
+            walk(expr.operand)
+
+    for item in block.items:
+        walk(item.expr)
+    for conjunct in block.conjuncts:
+        walk(conjunct)
+    for expr in block.group_by:
+        walk(expr)
+    if block.having is not None:
+        walk(block.having)
+    for order_item in block.order_by:
+        walk(order_item.expr)
+    return order
+
+
+def build_reconstruction(
+    fragments: list[Fragment],
+    used: list[str],
+    binding: str,
+    *,
+    include_row: bool = False,
+    soft_delete: bool = False,
+    all_fragments: bool = False,
+) -> ast.SubquerySource:
+    """The table-reconstruction query for one logical source (step 3).
+
+    Only fragments contributing used columns participate ("if a query
+    does not reference one of the tables, then there is no need to read
+    it in").  ``include_row`` additionally exposes the anchor's Row id
+    as ``__row``; ``all_fragments`` forces every fragment in (DML over
+    all chunks, e.g. soft deletes).
+    """
+    if not fragments:
+        raise PlanError(f"no fragments for source {binding!r}")
+    covered = set()
+    needed: list[Fragment] = []
+    for fragment in fragments:
+        wanted = [c for c in used if fragment.covers(c) and c not in covered]
+        if wanted or all_fragments:
+            needed.append(fragment)
+            covered.update(wanted)
+    missing = [c for c in used if c not in covered]
+    if missing:
+        raise UnknownObjectError(
+            f"columns {missing} of {binding!r} not stored by any fragment"
+        )
+    if not needed:
+        needed = [fragments[0]]
+
+    aliases = {id(f): f"f{i}" for i, f in enumerate(needed)}
+    anchor = needed[0]
+    if len(needed) > 1 and any(f.row_column is None for f in needed):
+        raise PlanError(
+            f"source {binding!r} needs row alignment but a fragment has no row column"
+        )
+
+    items: list[ast.SelectItem] = []
+    emitted = set()
+    for column in used:
+        if column in emitted:
+            continue
+        emitted.add(column)
+        for fragment in needed:
+            if fragment.covers(column):
+                loc = fragment.column_map()[column]
+                expr: ast.Expr = ast.ColumnRef(aliases[id(fragment)], loc.physical)
+                if loc.cast:
+                    expr = ast.FuncCall(loc.cast, (expr,))
+                items.append(ast.SelectItem(expr, column))
+                break
+    if include_row:
+        if anchor.row_column is None:
+            raise PlanError(f"source {binding!r} has no row identity for DML")
+        items.append(
+            ast.SelectItem(
+                ast.ColumnRef(aliases[id(anchor)], anchor.row_column), ROW_ALIAS
+            )
+        )
+    if not items:
+        # Anchor-only reconstruction for queries that touch no columns
+        # (COUNT(*)): expose the row id or the first physical column.
+        if anchor.row_column is not None:
+            items.append(
+                ast.SelectItem(
+                    ast.ColumnRef(aliases[id(anchor)], anchor.row_column), ROW_ALIAS
+                )
+            )
+        else:
+            name, loc = anchor.columns[0]
+            items.append(
+                ast.SelectItem(ast.ColumnRef(aliases[id(anchor)], loc.physical), name)
+            )
+
+    sources = [ast.TableSource(f.table, aliases[id(f)]) for f in needed]
+
+    conjuncts: list[ast.Expr] = []
+    for fragment in needed:
+        alias = aliases[id(fragment)]
+        for meta_col, value in fragment.meta:
+            conjuncts.append(
+                ast.BinaryOp(
+                    "=", ast.ColumnRef(alias, meta_col), ast.Literal(value)
+                )
+            )
+        if soft_delete:
+            conjuncts.append(
+                ast.BinaryOp("=", ast.ColumnRef(alias, ALIVE), ast.Literal(1))
+            )
+    anchor_alias = aliases[id(anchor)]
+    for fragment in needed[1:]:
+        conjuncts.append(
+            ast.BinaryOp(
+                "=",
+                ast.ColumnRef(anchor_alias, anchor.row_column),
+                ast.ColumnRef(aliases[id(fragment)], fragment.row_column),
+            )
+        )
+
+    where = None
+    for conjunct in conjuncts:
+        where = conjunct if where is None else ast.BinaryOp("AND", where, conjunct)
+
+    select = ast.Select(
+        items=tuple(items), sources=tuple(sources), where=where
+    )
+    return ast.SubquerySource(select, binding)
+
+
+class QueryTransformer:
+    """Transforms logical SELECTs into physical SELECTs for one layout."""
+
+    def __init__(self, layout, schema: MultiTenantSchema) -> None:
+        self.layout = layout
+        self.schema = schema
+
+    def transform_predicate(self, tenant_id: int, expr: ast.Expr) -> ast.Expr:
+        """Transform ``IN (SELECT ...)`` subqueries inside a predicate."""
+        if isinstance(expr, ast.InSubquery):
+            return ast.InSubquery(
+                self.transform_predicate(tenant_id, expr.operand),
+                self.transform_select(tenant_id, expr.subquery),
+                expr.negated,
+            )
+        if isinstance(expr, ast.BinaryOp):
+            return ast.BinaryOp(
+                expr.op,
+                self.transform_predicate(tenant_id, expr.left),
+                self.transform_predicate(tenant_id, expr.right),
+            )
+        if isinstance(expr, ast.UnaryOp):
+            return ast.UnaryOp(
+                expr.op, self.transform_predicate(tenant_id, expr.operand)
+            )
+        if isinstance(expr, ast.IsNull):
+            return ast.IsNull(
+                self.transform_predicate(tenant_id, expr.operand), expr.negated
+            )
+        if isinstance(expr, ast.FuncCall):
+            return ast.FuncCall(
+                expr.name,
+                tuple(self.transform_predicate(tenant_id, a) for a in expr.args),
+                expr.star,
+                expr.distinct,
+            )
+        if isinstance(expr, ast.InList):
+            return ast.InList(
+                self.transform_predicate(tenant_id, expr.operand),
+                tuple(self.transform_predicate(tenant_id, i) for i in expr.items),
+                expr.negated,
+            )
+        return expr
+
+    def transform_select(
+        self, tenant_id: int, select: ast.Select, *, include_row: bool = False
+    ) -> ast.Select:
+        """Steps 1–4 for one statement (recursing into logical FROM
+        subqueries)."""
+        lookup = self.schema.logical_lookup(tenant_id)
+        block = qualify_block(build_block(select), lookup)
+        usage = used_columns(block)
+        sources: list[ast.Source] = []
+        for source in block.sources:
+            if isinstance(source, ast.SubquerySource):
+                inner = self.transform_select(tenant_id, source.select)
+                sources.append(ast.SubquerySource(inner, source.alias))
+                continue
+            if not self.schema.has_table(source.name):
+                # Physical / passthrough table (layout internals, results
+                # tables, ...): leave untouched.
+                sources.append(source)
+                continue
+            binding = source.binding.lower()
+            fragments = self.layout.fragments(tenant_id, source.name)
+            sources.append(
+                build_reconstruction(
+                    fragments,
+                    usage.get(binding, []),
+                    binding,
+                    include_row=include_row,
+                    soft_delete=self.layout.soft_delete,
+                )
+            )
+        where = block_to_select(block).where
+        return ast.Select(
+            items=tuple(block.items),
+            sources=tuple(sources),
+            where=self.transform_predicate(tenant_id, where)
+            if where is not None
+            else None,
+            group_by=tuple(block.group_by),
+            having=self.transform_predicate(tenant_id, block.having)
+            if block.having is not None
+            else None,
+            order_by=tuple(block.order_by),
+            limit=block.limit,
+            distinct=block.distinct,
+        )

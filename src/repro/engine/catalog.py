@@ -1,0 +1,280 @@
+"""System catalog: tables, columns, indexes, and the meta-data budget.
+
+The catalog charges a fixed memory cost per table and per index object
+(4 KB per table by default — Section 1.1 quotes this figure for DB2
+V9.1) and reports the total so the database can shrink the buffer pool
+accordingly.  That interaction — *meta-data eats the buffer pool* — is
+the mechanism behind the paper's Experiment 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .btree import BTreeIndex
+from .errors import (
+    DuplicateObjectError,
+    NotNullViolation,
+    UnknownObjectError,
+)
+from .heap import HeapFile, InsertStrategy, RowId, ROW_OVERHEAD
+from .pager import BufferPool
+from .values import SqlType
+
+#: Default meta-data memory charged per table object (DB2 V9.1 figure).
+TABLE_METADATA_COST = 4096
+#: Meta-data memory charged per index object.
+INDEX_METADATA_COST = 1024
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column of a physical table."""
+
+    name: str
+    type: SqlType
+    not_null: bool = False
+
+    @property
+    def lname(self) -> str:
+        return self.name.lower()
+
+
+@dataclass
+class IndexInfo:
+    """Catalog entry for one B-tree index."""
+
+    name: str
+    table_name: str
+    column_names: tuple[str, ...]
+    unique: bool
+    btree: BTreeIndex
+    column_positions: tuple[int, ...] = ()
+
+
+class Table:
+    """A physical table: heap file + indexes + column metadata.
+
+    All mutation goes through this class so indexes stay consistent with
+    the heap.  Rows are tuples positionally aligned with ``columns``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        columns: list[Column],
+        heap: HeapFile,
+    ) -> None:
+        self.name = name
+        self.columns = columns
+        self.heap = heap
+        self.indexes: dict[str, IndexInfo] = {}
+        self._position: dict[str, int] = {
+            c.lname: i for i, c in enumerate(columns)
+        }
+        if len(self._position) != len(columns):
+            raise DuplicateObjectError(f"duplicate column names in {name}")
+
+    # -- column helpers ---------------------------------------------------
+
+    def column_position(self, name: str) -> int:
+        try:
+            return self._position[name.lower()]
+        except KeyError:
+            raise UnknownObjectError(
+                f"no column {name!r} in table {self.name}"
+            ) from None
+
+    def has_column(self, name: str) -> bool:
+        return name.lower() in self._position
+
+    def row_width(self, row: tuple) -> int:
+        return sum(
+            col.type.value_width(value) for col, value in zip(self.columns, row)
+        )
+
+    def check_row(self, row: tuple) -> tuple:
+        """Type-check and coerce a full row."""
+        if len(row) != len(self.columns):
+            raise NotNullViolation(
+                f"{self.name}: expected {len(self.columns)} values, got {len(row)}"
+            )
+        out = []
+        for col, value in zip(self.columns, row):
+            if value is None and col.not_null:
+                raise NotNullViolation(f"{self.name}.{col.name} is NOT NULL")
+            out.append(col.type.check(value))
+        return tuple(out)
+
+    # -- mutation (index-maintaining) ----------------------------------------
+
+    def insert_row(self, row: tuple) -> RowId:
+        row = self.check_row(row)
+        rid = self.heap.insert(row, self.row_width(row))
+        for info in self.indexes.values():
+            info.btree.insert(self._index_key(info, row), rid)
+        return rid
+
+    def delete_row(self, rid: RowId) -> tuple:
+        row = self.heap.fetch(rid)
+        for info in self.indexes.values():
+            info.btree.delete(self._index_key(info, row), rid)
+        self.heap.delete(rid)
+        return row
+
+    def update_row(self, rid: RowId, new_row: tuple) -> RowId:
+        new_row = self.check_row(new_row)
+        old_row = self.heap.fetch(rid)
+        new_rid = self.heap.update(rid, new_row, self.row_width(new_row))
+        for info in self.indexes.values():
+            old_key = self._index_key(info, old_row)
+            new_key = self._index_key(info, new_row)
+            if old_key != new_key or new_rid != rid:
+                info.btree.delete(old_key, rid)
+                info.btree.insert(new_key, new_rid)
+        return new_rid
+
+    def _index_key(self, info: IndexInfo, row: tuple) -> tuple:
+        return tuple(row[p] for p in info.column_positions)
+
+    # -- stats ------------------------------------------------------------------
+
+    @property
+    def row_count(self) -> int:
+        return self.heap.row_count
+
+    @property
+    def page_count(self) -> int:
+        return self.heap.page_count
+
+    def find_index(self, leading_columns: tuple[str, ...]) -> IndexInfo | None:
+        """Best index whose leading columns cover ``leading_columns``.
+
+        Prefers the index matching the *most* leading columns; ties go to
+        unique indexes, mirroring common optimizer behaviour.
+        """
+        wanted = [c.lower() for c in leading_columns]
+        best: IndexInfo | None = None
+        best_score = (-1, False)
+        for info in self.indexes.values():
+            cols = [c.lower() for c in info.column_names]
+            matched = 0
+            for col in cols:
+                if col in wanted:
+                    matched += 1
+                else:
+                    break
+            if matched == 0:
+                continue
+            score = (matched, info.unique)
+            if score > best_score:
+                best, best_score = info, score
+        return best
+
+
+class Catalog:
+    """All tables and indexes of one database, plus the meta-data budget."""
+
+    def __init__(
+        self,
+        pool: BufferPool,
+        *,
+        table_metadata_cost: int = TABLE_METADATA_COST,
+        index_metadata_cost: int = INDEX_METADATA_COST,
+        insert_strategy: InsertStrategy = InsertStrategy.FIRST_FIT,
+        prefix_compression: bool = True,
+    ) -> None:
+        self._pool = pool
+        self._tables: dict[str, Table] = {}
+        self._next_segment = 1
+        self.table_metadata_cost = table_metadata_cost
+        self.index_metadata_cost = index_metadata_cost
+        self.insert_strategy = insert_strategy
+        self.prefix_compression = prefix_compression
+        self.metadata_bytes = 0
+        self.ddl_statements = 0
+
+    # -- lookup ------------------------------------------------------------
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise UnknownObjectError(f"no table named {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def tables(self) -> list[Table]:
+        return list(self._tables.values())
+
+    @property
+    def table_count(self) -> int:
+        return len(self._tables)
+
+    @property
+    def index_count(self) -> int:
+        return sum(len(t.indexes) for t in self._tables.values())
+
+    # -- DDL ---------------------------------------------------------------
+
+    def create_table(self, name: str, columns: list[Column]) -> Table:
+        if self.has_table(name):
+            raise DuplicateObjectError(f"table {name!r} already exists")
+        heap = HeapFile(self._pool, self._next_segment, self.insert_strategy)
+        self._next_segment += 1
+        table = Table(name, columns, heap)
+        self._tables[name.lower()] = table
+        self.metadata_bytes += self.table_metadata_cost
+        self.ddl_statements += 1
+        return table
+
+    def drop_table(self, name: str) -> None:
+        table = self.table(name)
+        for info in list(table.indexes.values()):
+            info.btree.drop()
+            self.metadata_bytes -= self.index_metadata_cost
+        table.heap.drop()
+        del self._tables[name.lower()]
+        self.metadata_bytes -= self.table_metadata_cost
+        self.ddl_statements += 1
+
+    def create_index(
+        self,
+        index_name: str,
+        table_name: str,
+        column_names: list[str],
+        *,
+        unique: bool = False,
+    ) -> IndexInfo:
+        table = self.table(table_name)
+        key = index_name.lower()
+        if key in table.indexes:
+            raise DuplicateObjectError(f"index {index_name!r} already exists")
+        positions = tuple(table.column_position(c) for c in column_names)
+        btree = BTreeIndex(
+            self._pool,
+            self._next_segment,
+            unique=unique,
+            prefix_compression=self.prefix_compression,
+        )
+        self._next_segment += 1
+        info = IndexInfo(
+            index_name, table.name, tuple(column_names), unique, btree, positions
+        )
+        # Backfill from existing rows before publishing the index.
+        for rid, row in table.heap.scan():
+            btree.insert(tuple(row[p] for p in positions), rid)
+        table.indexes[key] = info
+        self.metadata_bytes += self.index_metadata_cost
+        self.ddl_statements += 1
+        return info
+
+    def drop_index(self, table_name: str, index_name: str) -> None:
+        table = self.table(table_name)
+        key = index_name.lower()
+        if key not in table.indexes:
+            raise UnknownObjectError(f"no index named {index_name!r}")
+        table.indexes.pop(key).btree.drop()
+        self.metadata_bytes -= self.index_metadata_cost
+        self.ddl_statements += 1

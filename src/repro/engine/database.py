@@ -1,0 +1,321 @@
+"""The :class:`Database` facade.
+
+One object per simulated database server: a buffer pool sized from a
+memory budget minus the catalog's meta-data consumption, a planner with
+a configurable optimizer profile, and an executor.  ``execute()`` takes
+SQL text plus positional parameters and returns a :class:`Result`.
+
+>>> db = Database()
+>>> _ = db.execute("CREATE TABLE t (id INTEGER NOT NULL, name VARCHAR(20))")
+>>> _ = db.execute("INSERT INTO t VALUES (1, 'x')")
+>>> db.execute("SELECT name FROM t WHERE id = ?", [1]).rows
+[('x',)]
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .catalog import (
+    Catalog,
+    Column,
+    INDEX_METADATA_COST,
+    TABLE_METADATA_COST,
+)
+from .errors import BudgetExceededError, EngineError, PlanError
+from .executor import ExecStats, Executor
+from .expr import ExprCompiler, Schema, Slot
+from .heap import InsertStrategy
+from .locks import LockTable
+from .optimizer import OptimizerProfile, Planner
+from .pager import DEFAULT_PAGE_SIZE, BufferPool, PoolStats
+from .plan.logical import split_conjuncts
+from .sql import ast
+from .sql.parser import parse_statement
+from .transactions import TransactionManager
+from .values import parse_type
+
+#: Default server memory budget. The paper's server had 1 GB; the
+#: default here is scaled down with the default workloads (Section 2 of
+#: DESIGN.md documents the scaling).
+DEFAULT_MEMORY = 16 * 1024 * 1024
+
+
+@dataclass
+class Result:
+    """Outcome of one statement."""
+
+    columns: list[str]
+    rows: list[tuple]
+    rowcount: int
+
+    def scalar(self) -> object:
+        if not self.rows or not self.rows[0]:
+            raise EngineError("result has no scalar value")
+        return self.rows[0][0]
+
+
+class Database:
+    """An instrumented single-node relational database."""
+
+    def __init__(
+        self,
+        *,
+        memory_bytes: int = DEFAULT_MEMORY,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        profile: OptimizerProfile = OptimizerProfile.ADVANCED,
+        table_metadata_cost: int = TABLE_METADATA_COST,
+        index_metadata_cost: int = INDEX_METADATA_COST,
+        insert_strategy: InsertStrategy = InsertStrategy.FIRST_FIT,
+        prefix_compression: bool = True,
+        enforce_budget: bool = False,
+    ) -> None:
+        self.memory_bytes = memory_bytes
+        self.page_size = page_size
+        self.enforce_budget = enforce_budget
+        self.pool = BufferPool(max(1, memory_bytes // page_size), page_size)
+        self.catalog = Catalog(
+            self.pool,
+            table_metadata_cost=table_metadata_cost,
+            index_metadata_cost=index_metadata_cost,
+            insert_strategy=insert_strategy,
+            prefix_compression=prefix_compression,
+        )
+        self.locks = LockTable()
+        self.transactions = TransactionManager()
+        self._planner = Planner(self.catalog, profile, self._execute_subquery)
+        self._executor = Executor(self.catalog)
+
+    # -- configuration ------------------------------------------------------
+
+    @property
+    def profile(self) -> OptimizerProfile:
+        return self._planner.profile
+
+    @profile.setter
+    def profile(self, profile: OptimizerProfile) -> None:
+        self._planner.profile = profile
+
+    # -- statistics ----------------------------------------------------------
+
+    @property
+    def pool_stats(self) -> PoolStats:
+        return self.pool.stats
+
+    @property
+    def exec_stats(self) -> ExecStats:
+        return self._executor.stats
+
+    def flush_cache(self) -> None:
+        """Empty the buffer pool (cold-cache experiments)."""
+        self.pool.flush()
+
+    @property
+    def buffer_pool_pages(self) -> int:
+        return self.pool.capacity_pages
+
+    # -- planning / explain -----------------------------------------------------
+
+    def plan(self, sql: str):
+        stmt = parse_statement(sql)
+        if not isinstance(stmt, ast.Select):
+            raise PlanError("only SELECT statements can be planned/explained")
+        return self._planner.plan_select(stmt)
+
+    def explain(self, sql: str) -> str:
+        from .explain import render_plan
+
+        return render_plan(self.plan(sql))
+
+    # -- execution -----------------------------------------------------------------
+
+    def execute(self, sql: str, params: Sequence[object] = ()) -> Result:
+        head = sql.strip().rstrip(";").upper()
+        if head in ("BEGIN", "BEGIN TRANSACTION", "START TRANSACTION"):
+            self.transactions.begin()
+            return Result([], [], 0)
+        if head == "COMMIT":
+            self.transactions.commit()
+            return Result([], [], 0)
+        if head == "ROLLBACK":
+            self.transactions.rollback()
+            return Result([], [], 0)
+        stmt = parse_statement(sql)
+        if isinstance(
+            stmt,
+            (ast.CreateTable, ast.CreateIndex, ast.DropTable, ast.DropIndex),
+        ):
+            # DDL is non-transactional: it commits any open transaction,
+            # matching the online-DDL behaviour Section 3 discusses.
+            self.transactions.commit_if_active()
+        if isinstance(stmt, ast.Select):
+            return self._run_select(stmt, params)
+        if isinstance(stmt, ast.Insert):
+            return self._run_insert(stmt, params)
+        if isinstance(stmt, ast.Update):
+            return self._run_update(stmt, params)
+        if isinstance(stmt, ast.Delete):
+            return self._run_delete(stmt, params)
+        if isinstance(stmt, ast.CreateTable):
+            return self._run_create_table(stmt)
+        if isinstance(stmt, ast.CreateIndex):
+            self.catalog.create_index(
+                stmt.index, stmt.table, list(stmt.columns), unique=stmt.unique
+            )
+            self._resize_pool()
+            return Result([], [], 0)
+        if isinstance(stmt, ast.DropTable):
+            self.catalog.drop_table(stmt.table)
+            self._resize_pool()
+            return Result([], [], 0)
+        if isinstance(stmt, ast.DropIndex):
+            self.catalog.drop_index(stmt.table, stmt.index)
+            self._resize_pool()
+            return Result([], [], 0)
+        raise PlanError(f"unsupported statement {type(stmt).__name__}")
+
+    # -- SELECT -----------------------------------------------------------------
+
+    def _run_select(self, stmt: ast.Select, params: Sequence[object]) -> Result:
+        root = self._planner.plan_select(stmt)
+        rows = self._executor.run(root, params)
+        columns = [slot.name for slot in root.schema.slots]
+        return Result(columns, rows, len(rows))
+
+    def _execute_subquery(self, select: ast.Select, params: Sequence[object]) -> set:
+        root = self._planner.plan_select(select)
+        return {row[0] for row in self._executor.run(root, params)}
+
+    # -- DDL ---------------------------------------------------------------------
+
+    def _run_create_table(self, stmt: ast.CreateTable) -> Result:
+        if self.enforce_budget:
+            projected = (
+                self.catalog.metadata_bytes + self.catalog.table_metadata_cost
+            )
+            if projected > self.memory_bytes // 2:
+                raise BudgetExceededError(
+                    f"meta-data budget exhausted at {self.catalog.table_count} tables"
+                )
+        columns = [
+            Column(c.name, parse_type(c.type_text), c.not_null) for c in stmt.columns
+        ]
+        self.catalog.create_table(stmt.table, columns)
+        self._resize_pool()
+        return Result([], [], 0)
+
+    def _resize_pool(self) -> None:
+        """Meta-data comes out of the same memory the pool uses — the
+        Experiment 1 mechanism."""
+        available = self.memory_bytes - self.catalog.metadata_bytes
+        self.pool.resize(max(1, available // self.page_size))
+
+    # -- DML -------------------------------------------------------------------------
+
+    def _run_insert(self, stmt: ast.Insert, params: Sequence[object]) -> Result:
+        table = self.catalog.table(stmt.table)
+        compiler = ExprCompiler(Schema([]))
+        count = 0
+        for row_exprs in stmt.rows:
+            values = [compiler.compile(e)((), params) for e in row_exprs]
+            if stmt.columns:
+                if len(values) != len(stmt.columns):
+                    raise PlanError("INSERT arity mismatch")
+                full = [None] * len(table.columns)
+                for name, value in zip(stmt.columns, values):
+                    full[table.column_position(name)] = value
+                values = full
+            elif len(values) != len(table.columns):
+                raise PlanError("INSERT arity mismatch")
+            rid = table.insert_row(tuple(values))
+            self.transactions.record_insert(table, rid)
+            count += 1
+        self._executor.stats.statements += 1
+        return Result([], [], count)
+
+    def _match_rids(
+        self, table, where: ast.Expr | None, params: Sequence[object]
+    ) -> list:
+        """RIDs matching a DML predicate, using the best index available."""
+        binding = table.name.lower()
+        schema = Schema([Slot(binding, c.lname) for c in table.columns])
+        compiler = ExprCompiler(schema, self._execute_subquery)
+        conjuncts = split_conjuncts(where)
+
+        # Constant equality conjuncts usable as an index prefix.
+        const_compiler = ExprCompiler(Schema([]), self._execute_subquery)
+        eq_values: dict[str, object] = {}
+        for conjunct in conjuncts:
+            if isinstance(conjunct, ast.BinaryOp) and conjunct.op == "=":
+                for lhs, rhs in (
+                    (conjunct.left, conjunct.right),
+                    (conjunct.right, conjunct.left),
+                ):
+                    if (
+                        isinstance(lhs, ast.ColumnRef)
+                        and table.has_column(lhs.column)
+                        and not isinstance(rhs, ast.ColumnRef)
+                    ):
+                        try:
+                            value = const_compiler.compile(rhs)((), params)
+                        except EngineError:
+                            continue
+                        eq_values.setdefault(lhs.column.lower(), value)
+                        break
+
+        predicate = (
+            [compiler.compile(c) for c in conjuncts] if conjuncts else []
+        )
+
+        info = table.find_index(tuple(eq_values.keys())) if eq_values else None
+        rids = []
+        if info is not None:
+            prefix = []
+            for col in info.column_names:
+                if col.lower() in eq_values:
+                    prefix.append(eq_values[col.lower()])
+                else:
+                    break
+            self._executor.stats.index_lookups += 1
+            for _key, rid in info.btree.scan_prefix(tuple(prefix)):
+                row = table.heap.fetch(rid)
+                self._executor.stats.rows_fetched += 1
+                if all(p(row, params) is True for p in predicate):
+                    rids.append(rid)
+        else:
+            for rid, row in table.heap.scan():
+                self._executor.stats.rows_scanned += 1
+                if all(p(row, params) is True for p in predicate):
+                    rids.append(rid)
+        return rids
+
+    def _run_update(self, stmt: ast.Update, params: Sequence[object]) -> Result:
+        table = self.catalog.table(stmt.table)
+        binding = table.name.lower()
+        schema = Schema([Slot(binding, c.lname) for c in table.columns])
+        compiler = ExprCompiler(schema, self._execute_subquery)
+        assignments = [
+            (table.column_position(col), compiler.compile(expr))
+            for col, expr in stmt.assignments
+        ]
+        rids = self._match_rids(table, stmt.where, params)
+        for rid in rids:
+            old_row = table.heap.fetch(rid)
+            new_row = list(old_row)
+            # SET expressions all see the pre-update row, per SQL.
+            for position, compiled in assignments:
+                new_row[position] = compiled(old_row, params)
+            new_rid = table.update_row(rid, tuple(new_row))
+            self.transactions.record_update(table, rid, old_row, new_rid)
+        self._executor.stats.statements += 1
+        return Result([], [], len(rids))
+
+    def _run_delete(self, stmt: ast.Delete, params: Sequence[object]) -> Result:
+        table = self.catalog.table(stmt.table)
+        rids = self._match_rids(table, stmt.where, params)
+        for rid in rids:
+            row = table.delete_row(rid)
+            self.transactions.record_delete(table, rid, row)
+        self._executor.stats.statements += 1
+        return Result([], [], len(rids))

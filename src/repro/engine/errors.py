@@ -1,0 +1,83 @@
+"""Exception hierarchy for the relational engine.
+
+The engine is used both directly (tests, benchmarks) and through the
+multi-tenant schema-mapping layer in :mod:`repro.core`.  Errors are split
+into *user* errors (bad SQL, constraint violations) and *engine* errors
+(internal invariants).  Everything derives from :class:`EngineError` so a
+caller can catch a single type at the boundary.
+"""
+
+from __future__ import annotations
+
+
+class EngineError(Exception):
+    """Base class for every error raised by the engine."""
+
+
+class ParseError(EngineError):
+    """The SQL text could not be tokenized or parsed.
+
+    Carries the position to make query-transformation bugs in the layers
+    above easy to localize.
+    """
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        self.position = position
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+
+
+class CatalogError(EngineError):
+    """A referenced table, column, or index does not exist (or already does)."""
+
+
+class DuplicateObjectError(CatalogError):
+    """CREATE of a table or index whose name is already taken."""
+
+
+class UnknownObjectError(CatalogError):
+    """Reference to a table, column, or index that is not in the catalog."""
+
+
+class TypeMismatchError(EngineError):
+    """A value or expression does not fit the declared column type."""
+
+
+class ConstraintError(EngineError):
+    """A uniqueness or not-null constraint was violated."""
+
+
+class NotNullViolation(ConstraintError):
+    """NULL assigned to a NOT NULL column."""
+
+
+class UniqueViolation(ConstraintError):
+    """Duplicate key in a unique index."""
+
+
+class PlanError(EngineError):
+    """The optimizer could not produce a plan (internal inconsistency)."""
+
+
+class ExecutionError(EngineError):
+    """Runtime failure while executing a plan."""
+
+
+class LockTimeoutError(EngineError):
+    """A lock could not be acquired within the configured budget."""
+
+
+class DeadlockError(LockTimeoutError):
+    """Two sessions wait on each other; the victim receives this error."""
+
+
+class BudgetExceededError(EngineError):
+    """The meta-data memory budget would be exceeded by a DDL operation.
+
+    The budget models the fixed per-table memory documented for DB2 V9.1
+    in the paper (4 KB per table).  The engine never raises this by
+    default — the budget is advisory unless ``enforce_budget`` is set on
+    the database — but the counter is always maintained so experiments
+    can report it.
+    """

@@ -1,0 +1,276 @@
+"""Pull-based execution of physical plans.
+
+Every page touch goes through the buffer pool, so the paper's metrics
+(logical/physical page reads, hit ratios) accumulate as a side effect of
+simply running queries.  The executor additionally counts row-level work
+in :class:`ExecStats`; the testbed's cost model turns both into
+simulated response times.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, Sequence
+
+from .catalog import Catalog, Table
+from .errors import ExecutionError, PlanError
+from .plan import physical as phys
+from .values import sort_key
+
+
+@dataclass
+class ExecStats:
+    """Row-level work counters for one database (cumulative)."""
+
+    rows_scanned: int = 0
+    index_lookups: int = 0
+    rows_fetched: int = 0
+    rows_joined: int = 0
+    rows_output: int = 0
+    sorts: int = 0
+    materialized_rows: int = 0
+    statements: int = 0
+
+    def snapshot(self) -> "ExecStats":
+        return ExecStats(**vars(self))
+
+    def delta(self, earlier: "ExecStats") -> "ExecStats":
+        return ExecStats(
+            **{k: getattr(self, k) - getattr(earlier, k) for k in vars(self)}
+        )
+
+
+class _AggState:
+    """Accumulator for one aggregate within one group."""
+
+    __slots__ = ("spec", "count", "total", "best", "seen")
+
+    def __init__(self, spec: phys.AggSpec) -> None:
+        self.spec = spec
+        self.count = 0
+        self.total = None
+        self.best = None
+        self.seen: set | None = set() if spec.distinct else None
+
+    def add(self, row: tuple, params: Sequence[object]) -> None:
+        spec = self.spec
+        if spec.func == "COUNT_STAR":
+            self.count += 1
+            return
+        assert spec.arg is not None
+        value = spec.arg(row, params)
+        if value is None:
+            return
+        if self.seen is not None:
+            if value in self.seen:
+                return
+            self.seen.add(value)
+        self.count += 1
+        if spec.func in ("SUM", "AVG"):
+            self.total = value if self.total is None else self.total + value
+        elif spec.func == "MIN":
+            if self.best is None or sort_key(value) < sort_key(self.best):
+                self.best = value
+        elif spec.func == "MAX":
+            if self.best is None or sort_key(value) > sort_key(self.best):
+                self.best = value
+
+    def final(self) -> object:
+        func = self.spec.func
+        if func in ("COUNT", "COUNT_STAR"):
+            return self.count
+        if func == "SUM":
+            return self.total
+        if func == "AVG":
+            if self.count == 0:
+                return None
+            return self.total / self.count
+        return self.best
+
+
+class Executor:
+    """Executes physical plans against a catalog."""
+
+    def __init__(self, catalog: Catalog) -> None:
+        self._catalog = catalog
+        self.stats = ExecStats()
+
+    # -- public -----------------------------------------------------------
+
+    def run(
+        self, root: phys.PReturn, params: Sequence[object] = ()
+    ) -> list[tuple]:
+        self.stats.statements += 1
+        cache: dict[int, list[tuple]] = {}
+        rows = list(self._iterate(root.child, (), params, cache))
+        self.stats.rows_output += len(rows)
+        return rows
+
+    # -- node dispatch ----------------------------------------------------------
+
+    def _iterate(
+        self,
+        node: phys.PNode,
+        outer_row: tuple,
+        params: Sequence[object],
+        cache: dict[int, list[tuple]],
+    ) -> Iterator[tuple]:
+        if isinstance(node, phys.PTableScan):
+            yield from self._scan_table(node, params)
+        elif isinstance(node, phys.PIndexScan):
+            yield from self._scan_index_only(node, outer_row, params)
+        elif isinstance(node, phys.PFetch):
+            yield from self._fetch(node, outer_row, params)
+        elif isinstance(node, phys.PMaterialize):
+            key = id(node)
+            if key not in cache:
+                rows = []
+                for row in self._iterate(node.child, (), params, cache):
+                    if all(p(row, params) is True for p in node.residual):
+                        rows.append(row)
+                cache[key] = rows
+                self.stats.materialized_rows += len(rows)
+            yield from cache[key]
+        elif isinstance(node, phys.PNLJoin):
+            for left_row in self._iterate(node.outer, outer_row, params, cache):
+                for right_row in self._iterate(node.inner, left_row, params, cache):
+                    self.stats.rows_joined += 1
+                    yield left_row + right_row
+        elif isinstance(node, phys.PHSJoin):
+            table: dict[tuple, list[tuple]] = {}
+            for row in self._iterate(node.right, (), params, cache):
+                key = tuple(k(row, params) for k in node.right_keys)
+                if any(v is None for v in key):
+                    continue
+                table.setdefault(key, []).append(row)
+            for row in self._iterate(node.left, outer_row, params, cache):
+                key = tuple(k(row, params) for k in node.left_keys)
+                if any(v is None for v in key):
+                    continue
+                for match in table.get(key, ()):
+                    self.stats.rows_joined += 1
+                    yield row + match
+        elif isinstance(node, phys.PFilter):
+            for row in self._iterate(node.child, outer_row, params, cache):
+                if all(p(row, params) is True for p in node.predicates):
+                    yield row
+        elif isinstance(node, phys.PGroup):
+            yield from self._group(node, params, cache)
+        elif isinstance(node, phys.PProject):
+            for row in self._iterate(node.child, outer_row, params, cache):
+                yield tuple(e(row, params) for e in node.exprs)
+        elif isinstance(node, phys.PSort):
+            rows = list(self._iterate(node.child, outer_row, params, cache))
+            self.stats.sorts += 1
+            for expr, descending in reversed(node.keys):
+                rows.sort(
+                    key=lambda r: sort_key(expr(r, params)), reverse=descending
+                )
+            yield from rows
+        elif isinstance(node, phys.PDistinct):
+            seen: set = set()
+            for row in self._iterate(node.child, outer_row, params, cache):
+                if row not in seen:
+                    seen.add(row)
+                    yield row
+        elif isinstance(node, phys.PLimit):
+            yield from itertools.islice(
+                self._iterate(node.child, outer_row, params, cache), node.limit
+            )
+        elif isinstance(node, phys.PReturn):
+            yield from self._iterate(node.child, outer_row, params, cache)
+        else:  # pragma: no cover
+            raise PlanError(f"unknown physical node {type(node).__name__}")
+
+    # -- leaves -------------------------------------------------------------------
+
+    def _scan_table(
+        self, node: phys.PTableScan, params: Sequence[object]
+    ) -> Iterator[tuple]:
+        table = self._catalog.table(node.table_name)
+        for _rid, row in table.heap.scan():
+            self.stats.rows_scanned += 1
+            if all(p(row, params) is True for p in node.residual):
+                yield row
+
+    def _index_entries(
+        self, node: phys.PIndexScan, outer_row: tuple, params: Sequence[object]
+    ) -> Iterator[tuple]:
+        """Yield (key, rid) pairs for the scan's equality prefix."""
+        table = self._catalog.table(node.table_name)
+        info = table.indexes.get(node.index_name.lower())
+        if info is None:
+            raise ExecutionError(
+                f"index {node.index_name} vanished from {node.table_name}"
+            )
+        prefix = tuple(e(outer_row, params) for e in node.key_exprs)
+        self.stats.index_lookups += 1
+        if node.range_low is None and node.range_high is None:
+            yield from info.btree.scan_prefix(prefix)
+            return
+        low = prefix
+        high = prefix
+        if node.range_low is not None:
+            value = node.range_low(outer_row, params)
+            if value is None:
+                return  # NULL bound matches nothing
+            low = prefix + (value,)
+        if node.range_high is not None:
+            value = node.range_high(outer_row, params)
+            if value is None:
+                return
+            high = prefix + (value,)
+        yield from info.btree.scan_range(low or None, high or None)
+
+    def _scan_index_only(
+        self, node: phys.PIndexScan, outer_row: tuple, params: Sequence[object]
+    ) -> Iterator[tuple]:
+        table = self._catalog.table(node.table_name)
+        info = table.indexes[node.index_name.lower()]
+        width = len(table.columns)
+        for key, _rid in self._index_entries(node, outer_row, params):
+            row = [None] * width
+            for pos, value in zip(info.column_positions, key):
+                row[pos] = value
+            row_tuple = tuple(row)
+            self.stats.rows_scanned += 1
+            if all(p(row_tuple, params) is True for p in node.residual):
+                yield row_tuple
+
+    def _fetch(
+        self, node: phys.PFetch, outer_row: tuple, params: Sequence[object]
+    ) -> Iterator[tuple]:
+        table = self._catalog.table(node.table_name)
+        child = node.child
+        for _key, rid in self._index_entries(child, outer_row, params):
+            row = table.heap.fetch(rid)
+            self.stats.rows_fetched += 1
+            if all(p(row, params) is True for p in child.residual):
+                yield row
+
+    # -- grouping --------------------------------------------------------------------
+
+    def _group(
+        self,
+        node: phys.PGroup,
+        params: Sequence[object],
+        cache: dict[int, list[tuple]],
+    ) -> Iterator[tuple]:
+        groups: dict[tuple, list[_AggState]] = {}
+        for row in self._iterate(node.child, (), params, cache):
+            key = tuple(g(row, params) for g in node.group_exprs)
+            states = groups.get(key)
+            if states is None:
+                states = [_AggState(spec) for spec in node.aggs]
+                groups[key] = states
+            for state in states:
+                state.add(row, params)
+        if not groups and not node.group_exprs:
+            # Global aggregate over the empty input still yields one row.
+            groups[()] = [_AggState(spec) for spec in node.aggs]
+        for key, states in groups.items():
+            pseudo = key + tuple(state.final() for state in states)
+            if node.having is not None and node.having(pseudo, params) is not True:
+                continue
+            yield tuple(out.post(pseudo, params) for out in node.outputs)

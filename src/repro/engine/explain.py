@@ -1,0 +1,46 @@
+"""Plan rendering in the style of the paper's Figure 8.
+
+:func:`render_plan` produces an indented operator tree using DB2's
+operator vocabulary (RETURN / NLJOIN / HSJOIN / IXSCAN / FETCH / ...);
+:func:`plan_shape` produces a compact s-expression used by tests to
+assert plan shapes without depending on formatting.
+"""
+
+from __future__ import annotations
+
+from .plan import physical as phys
+
+
+def render_plan(root: phys.PNode) -> str:
+    lines: list[str] = []
+
+    def visit(node: phys.PNode, depth: int) -> None:
+        detail = node.describe()
+        suffix = f"  [{detail}]" if detail else ""
+        lines.append("  " * depth + node.op_name + suffix)
+        for child in node.children():
+            visit(child, depth + 1)
+
+    visit(root, 0)
+    return "\n".join(lines)
+
+
+def plan_shape(root: phys.PNode) -> str:
+    """Compact shape string, e.g. ``RETURN(NLJOIN(HSJOIN(IXSCAN,IXSCAN),FETCH(IXSCAN)))``."""
+
+    def visit(node: phys.PNode) -> str:
+        children = node.children()
+        if not children:
+            return node.op_name
+        inner = ",".join(visit(c) for c in children)
+        return f"{node.op_name}({inner})"
+
+    return visit(root)
+
+
+def count_operators(root: phys.PNode, op_name: str) -> int:
+    """Number of operators with the given name in the plan."""
+    total = 1 if root.op_name == op_name else 0
+    for child in root.children():
+        total += count_operators(child, op_name)
+    return total

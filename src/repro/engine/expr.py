@@ -1,0 +1,388 @@
+"""Compilation of expression ASTs into Python callables.
+
+Expressions are compiled once at plan time against a *schema* — an
+ordered list of ``(binding, column_name)`` slots describing the tuples
+that flow through the plan — so evaluation is a closure call with no
+name resolution at runtime.
+
+Semantics follow SQL three-valued logic: comparisons involving NULL
+yield ``None``; ``AND``/``OR`` propagate unknowns; filters keep a row
+only when the predicate is exactly ``True``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from .errors import ExecutionError, PlanError, UnknownObjectError
+from .sql import ast
+
+#: A compiled expression: (row, params) -> value.
+Compiled = Callable[[tuple, Sequence[object]], object]
+
+
+@dataclass(frozen=True)
+class Slot:
+    """One column of the tuples flowing through a plan node."""
+
+    binding: str | None  # table alias (lowered); None for computed columns
+    name: str  # column name (lowered)
+
+
+class Schema:
+    """Slot list with name resolution (qualified and unqualified)."""
+
+    def __init__(self, slots: Sequence[Slot]):
+        self.slots = list(slots)
+
+    def __len__(self) -> int:
+        return len(self.slots)
+
+    def extend(self, other: "Schema") -> "Schema":
+        return Schema(self.slots + other.slots)
+
+    def resolve(self, table: str | None, column: str) -> int:
+        column = column.lower()
+        table = table.lower() if table else None
+        matches = [
+            i
+            for i, slot in enumerate(self.slots)
+            if slot.name == column and (table is None or slot.binding == table)
+        ]
+        if not matches and table is not None:
+            # Qualified reference against a computed/output schema whose
+            # slots have no binding: fall back to name-only resolution.
+            matches = [
+                i
+                for i, slot in enumerate(self.slots)
+                if slot.name == column and slot.binding is None
+            ]
+        if not matches:
+            raise UnknownObjectError(
+                f"column {table + '.' if table else ''}{column} not in scope"
+            )
+        if len(matches) > 1:
+            raise PlanError(f"ambiguous column reference {column!r}")
+        return matches[0]
+
+    def try_resolve(self, table: str | None, column: str) -> int | None:
+        try:
+            return self.resolve(table, column)
+        except (UnknownObjectError, PlanError):
+            return None
+
+    def bindings(self) -> set[str]:
+        return {s.binding for s in self.slots if s.binding is not None}
+
+
+def referenced_bindings(expr: ast.Expr) -> set[str]:
+    """Table bindings (lowercased) an expression refers to.
+
+    Unqualified column references yield the pseudo-binding ``"?"`` so the
+    caller knows resolution needs the full schema.
+    """
+    out: set[str] = set()
+    _walk_bindings(expr, out)
+    return out
+
+
+def _walk_bindings(expr: ast.Expr, out: set[str]) -> None:
+    if isinstance(expr, ast.ColumnRef):
+        out.add(expr.table.lower() if expr.table else "?")
+    elif isinstance(expr, ast.BinaryOp):
+        _walk_bindings(expr.left, out)
+        _walk_bindings(expr.right, out)
+    elif isinstance(expr, (ast.UnaryOp, ast.IsNull)):
+        _walk_bindings(expr.operand, out)
+    elif isinstance(expr, ast.FuncCall):
+        for arg in expr.args:
+            _walk_bindings(arg, out)
+    elif isinstance(expr, ast.InList):
+        _walk_bindings(expr.operand, out)
+        for item in expr.items:
+            _walk_bindings(item, out)
+    elif isinstance(expr, ast.InSubquery):
+        _walk_bindings(expr.operand, out)
+        # Correlated subqueries are not supported; the subquery's own
+        # references are resolved against its own sources.
+
+
+def contains_aggregate(expr: ast.Expr | ast.Star) -> bool:
+    if isinstance(expr, ast.FuncCall):
+        if expr.is_aggregate:
+            return True
+        return any(contains_aggregate(a) for a in expr.args)
+    if isinstance(expr, ast.BinaryOp):
+        return contains_aggregate(expr.left) or contains_aggregate(expr.right)
+    if isinstance(expr, (ast.UnaryOp, ast.IsNull)):
+        return contains_aggregate(expr.operand)
+    if isinstance(expr, ast.InList):
+        return contains_aggregate(expr.operand) or any(
+            contains_aggregate(i) for i in expr.items
+        )
+    return False
+
+
+def _like_matcher(pattern: str) -> Callable[[str], bool]:
+    regex = re.escape(pattern).replace("%", ".*").replace("_", ".")
+    compiled = re.compile(f"^{regex}$", re.IGNORECASE)
+    return lambda text: compiled.match(text) is not None
+
+
+_ARITH = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b if isinstance(a, float) or isinstance(b, float) else a // b,
+    "||": lambda a, b: str(a) + str(b),
+}
+
+def _coerce_pair(a: object, b: object) -> tuple[object, object]:
+    """Mild cross-type coercion for comparisons, mirroring the lenient
+    behaviour of the paper's databases: ISO strings compare against
+    DATEs, ints against floats (native in Python)."""
+    import datetime
+
+    if isinstance(a, datetime.date) and isinstance(b, str):
+        try:
+            return a, datetime.date.fromisoformat(b)
+        except ValueError:
+            return a, b
+    if isinstance(b, datetime.date) and isinstance(a, str):
+        try:
+            return datetime.date.fromisoformat(a), b
+        except ValueError:
+            return a, b
+    return a, b
+
+
+_COMPARE = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+class ExprCompiler:
+    """Compiles expression ASTs against a fixed schema.
+
+    ``subquery_executor`` is a callback used for uncorrelated ``IN
+    (SELECT ...)`` predicates; it receives the subquery AST plus the
+    statement parameters and returns the set of values the subquery
+    produced (evaluated lazily, once per parameter vector).
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        subquery_executor: "Callable[[ast.Select, Sequence[object]], set] | None" = None,
+    ) -> None:
+        self._schema = schema
+        self._subquery_executor = subquery_executor
+
+    def compile(self, expr: ast.Expr) -> Compiled:
+        if isinstance(expr, ast.Literal):
+            value = expr.value
+            return lambda row, params: value
+        if isinstance(expr, ast.Param):
+            index = expr.index
+            def read_param(row, params, index=index):
+                if index >= len(params):
+                    raise ExecutionError(
+                        f"statement needs parameter {index + 1}, "
+                        f"got {len(params)}"
+                    )
+                return params[index]
+            return read_param
+        if isinstance(expr, ast.ColumnRef):
+            slot = self._schema.resolve(expr.table, expr.column)
+            return lambda row, params, slot=slot: row[slot]
+        if isinstance(expr, ast.BinaryOp):
+            return self._compile_binary(expr)
+        if isinstance(expr, ast.UnaryOp):
+            inner = self.compile(expr.operand)
+            if expr.op.upper() == "NOT":
+                def negate(row, params):
+                    value = inner(row, params)
+                    if value is None:
+                        return None
+                    return not value
+                return negate
+            return lambda row, params: None if (v := inner(row, params)) is None else -v
+        if isinstance(expr, ast.IsNull):
+            inner = self.compile(expr.operand)
+            if expr.negated:
+                return lambda row, params: inner(row, params) is not None
+            return lambda row, params: inner(row, params) is None
+        if isinstance(expr, ast.FuncCall):
+            return self._compile_scalar_func(expr)
+        if isinstance(expr, ast.InList):
+            operand = self.compile(expr.operand)
+            items = [self.compile(i) for i in expr.items]
+            negated = expr.negated
+            def in_list(row, params):
+                value = operand(row, params)
+                if value is None:
+                    return None
+                found = any(item(row, params) == value for item in items)
+                return (not found) if negated else found
+            return in_list
+        if isinstance(expr, ast.InSubquery):
+            if self._subquery_executor is None:
+                raise PlanError("IN (SELECT ...) is not allowed in this context")
+            operand = self.compile(expr.operand)
+            executor = self._subquery_executor
+            subquery = expr.subquery
+            negated = expr.negated
+            cache: dict[tuple, set] = {}
+            def in_subquery(row, params):
+                key = tuple(params)
+                if key not in cache:
+                    cache[key] = executor(subquery, params)
+                value = operand(row, params)
+                if value is None:
+                    return None
+                found = value in cache[key]
+                return (not found) if negated else found
+            return in_subquery
+        raise PlanError(f"cannot compile expression {expr!r}")
+
+    def _compile_binary(self, expr: ast.BinaryOp) -> Compiled:
+        op = expr.op.upper()
+        if op == "AND":
+            left, right = self.compile(expr.left), self.compile(expr.right)
+            def and_(row, params):
+                a = left(row, params)
+                if a is False:
+                    return False
+                b = right(row, params)
+                if b is False:
+                    return False
+                if a is None or b is None:
+                    return None
+                return True
+            return and_
+        if op == "OR":
+            left, right = self.compile(expr.left), self.compile(expr.right)
+            def or_(row, params):
+                a = left(row, params)
+                if a is True:
+                    return True
+                b = right(row, params)
+                if b is True:
+                    return True
+                if a is None or b is None:
+                    return None
+                return False
+            return or_
+        if op == "LIKE":
+            left = self.compile(expr.left)
+            if isinstance(expr.right, ast.Literal) and isinstance(
+                expr.right.value, str
+            ):
+                matcher = _like_matcher(expr.right.value)
+                def like_const(row, params):
+                    value = left(row, params)
+                    if value is None:
+                        return None
+                    return matcher(str(value))
+                return like_const
+            right = self.compile(expr.right)
+            def like_dyn(row, params):
+                value, pattern = left(row, params), right(row, params)
+                if value is None or pattern is None:
+                    return None
+                return _like_matcher(str(pattern))(str(value))
+            return like_dyn
+        if op in _COMPARE:
+            left, right = self.compile(expr.left), self.compile(expr.right)
+            fn = _COMPARE[op]
+            def compare(row, params):
+                a, b = left(row, params), right(row, params)
+                if a is None or b is None:
+                    return None
+                a, b = _coerce_pair(a, b)
+                try:
+                    return fn(a, b)
+                except TypeError:
+                    # Incompatible types: fall back to the engine's total
+                    # order so queries never crash mid-scan.
+                    from .values import sort_key
+
+                    return fn(sort_key(a), sort_key(b))
+            return compare
+        if op in _ARITH:
+            left, right = self.compile(expr.left), self.compile(expr.right)
+            fn = _ARITH[op]
+            def arith(row, params):
+                a, b = left(row, params), right(row, params)
+                if a is None or b is None:
+                    return None
+                return fn(a, b)
+            return arith
+        raise PlanError(f"unsupported operator {expr.op!r}")
+
+    def _compile_scalar_func(self, expr: ast.FuncCall) -> Compiled:
+        name = expr.name.upper()
+        if expr.is_aggregate:
+            raise PlanError(
+                f"aggregate {name} not allowed here (handled by GRPBY)"
+            )
+        args = [self.compile(a) for a in expr.args]
+        if name == "LENGTH" and len(args) == 1:
+            return lambda row, params: (
+                None if (v := args[0](row, params)) is None else len(str(v))
+            )
+        if name == "UPPER" and len(args) == 1:
+            return lambda row, params: (
+                None if (v := args[0](row, params)) is None else str(v).upper()
+            )
+        if name == "LOWER" and len(args) == 1:
+            return lambda row, params: (
+                None if (v := args[0](row, params)) is None else str(v).lower()
+            )
+        if name == "COALESCE" and args:
+            def coalesce(row, params):
+                for arg in args:
+                    value = arg(row, params)
+                    if value is not None:
+                        return value
+                return None
+            return coalesce
+        if name == "ABS" and len(args) == 1:
+            return lambda row, params: (
+                None if (v := args[0](row, params)) is None else abs(v)
+            )
+        # Conversion functions used by the Universal Table layout, which
+        # funnels every logical type through VARCHAR data columns.
+        if name == "TO_INT" and len(args) == 1:
+            return lambda row, params: (
+                None if (v := args[0](row, params)) is None else int(v)
+            )
+        if name == "TO_DOUBLE" and len(args) == 1:
+            return lambda row, params: (
+                None if (v := args[0](row, params)) is None else float(v)
+            )
+        if name == "TO_DATE" and len(args) == 1:
+            def to_date(row, params):
+                import datetime
+
+                value = args[0](row, params)
+                if value is None or isinstance(value, datetime.date):
+                    return value
+                return datetime.date.fromisoformat(str(value))
+            return to_date
+        if name == "TO_BOOL" and len(args) == 1:
+            return lambda row, params: (
+                None if (v := args[0](row, params)) is None else v in (1, "1", True)
+            )
+        if name == "TO_STR" and len(args) == 1:
+            return lambda row, params: (
+                None if (v := args[0](row, params)) is None else str(v)
+            )
+        raise PlanError(f"unknown function {name}")

@@ -1,0 +1,66 @@
+"""Lightweight lock accounting for contention modelling.
+
+The paper attributes two effects in Experiment 1 to locking (Section 5):
+heavyweight selects doing partial scans "with some locking" interfere
+with each other, and concurrent inserts wait on page locks.  The testbed
+runs sessions cooperatively (one at a time), so instead of real blocking
+we *account* conflicts: a session acquiring a resource already held by
+another session records a conflict, and the testbed's cost model charges
+a wait penalty per conflict.
+
+Resources are arbitrary hashable keys — the testbed uses
+``("page", page_id)`` for insert targets and ``("table", name)`` for
+scan locks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class LockStats:
+    acquisitions: int = 0
+    conflicts: int = 0
+
+    def snapshot(self) -> "LockStats":
+        return LockStats(self.acquisitions, self.conflicts)
+
+    def delta(self, earlier: "LockStats") -> "LockStats":
+        return LockStats(
+            self.acquisitions - earlier.acquisitions,
+            self.conflicts - earlier.conflicts,
+        )
+
+
+class LockTable:
+    """Conflict-accounting lock table (non-blocking)."""
+
+    def __init__(self) -> None:
+        self._holders: dict[object, dict[int, bool]] = {}
+        self.stats = LockStats()
+
+    def acquire(self, session_id: int, resource: object, *, exclusive: bool) -> int:
+        """Record an acquisition; returns the number of conflicting holders."""
+        holders = self._holders.setdefault(resource, {})
+        conflicts = 0
+        for other, other_exclusive in holders.items():
+            if other == session_id:
+                continue
+            if exclusive or other_exclusive:
+                conflicts += 1
+        holders[session_id] = exclusive or holders.get(session_id, False)
+        self.stats.acquisitions += 1
+        self.stats.conflicts += conflicts
+        return conflicts
+
+    def release_session(self, session_id: int) -> None:
+        """Release everything a session holds (end of its action)."""
+        for resource in list(self._holders):
+            holders = self._holders[resource]
+            holders.pop(session_id, None)
+            if not holders:
+                del self._holders[resource]
+
+    def held_by(self, session_id: int) -> int:
+        return sum(1 for h in self._holders.values() if session_id in h)

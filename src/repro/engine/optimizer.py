@@ -1,0 +1,1078 @@
+"""Query planner with two optimizer profiles.
+
+The paper's Test 1 (Section 6.2) contrasts a *sophisticated* optimizer
+(DB2) with a *less-sophisticated* one (MySQL).  We model both as
+profiles of one planner:
+
+* :attr:`OptimizerProfile.ADVANCED` — unnests FROM-subqueries
+  (Fegaras–Maier rule N8), propagates equality predicates transitively
+  (so a constant bound to ``p.id`` also restricts ``c.parent``, as DB2
+  does in Figure 8), picks the index with the longest usable equality
+  prefix, and orders joins greedily by estimated cardinality.
+
+* :attr:`OptimizerProfile.SIMPLE` — materializes FROM-subqueries before
+  applying outer predicates, keeps the textual FROM order (except that
+  the driving table is the one named by the *textually first* indexable
+  constant predicate), and selects indexes by first-come predicate
+  order.  Predicate order in the SQL text therefore changes the plan,
+  reproducing the ~5x effect the paper reports for MySQL.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .catalog import Catalog, Table
+from .errors import EngineError, PlanError
+from .expr import (
+    Compiled,
+    ExprCompiler,
+    Schema,
+    Slot,
+    contains_aggregate,
+    referenced_bindings,
+)
+from .plan.logical import (
+    QueryBlock,
+    build_block,
+    flatten_block,
+    output_name,
+    qualify_block,
+)
+from .plan import physical as phys
+from .sql import ast
+
+
+class OptimizerProfile(enum.Enum):
+    SIMPLE = "simple"
+    ADVANCED = "advanced"
+
+
+# ---------------------------------------------------------------------------
+# helpers on expressions
+# ---------------------------------------------------------------------------
+
+
+def _is_constant(expr: ast.Expr) -> bool:
+    """True when the expression references no table at all."""
+    return not referenced_bindings(expr)
+
+
+def _eq_sides(conjunct: ast.Expr) -> tuple[ast.Expr, ast.Expr] | None:
+    if isinstance(conjunct, ast.BinaryOp) and conjunct.op == "=":
+        return conjunct.left, conjunct.right
+    return None
+
+
+@dataclass
+class _Entry:
+    """One FROM source being planned."""
+
+    binding: str
+    schema: Schema
+    table: Table | None = None  # None for derived tables
+    derived_plan: phys.PNode | None = None
+    est_rows: float = 1.0
+
+
+@dataclass
+class _Conjunct:
+    expr: ast.Expr
+    order: int  # textual position
+    bindings: frozenset[str] = frozenset()
+    derived: bool = False  # added by transitive propagation
+
+    @property
+    def sql(self) -> str:
+        return self.expr.sql()
+
+
+class Planner:
+    """Plans SELECT statements into physical trees."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        profile: OptimizerProfile = OptimizerProfile.ADVANCED,
+        subquery_executor: Callable[[ast.Select], set] | None = None,
+    ) -> None:
+        self._catalog = catalog
+        self.profile = profile
+        self._subquery_executor = subquery_executor
+
+    # -- public entry ------------------------------------------------------
+
+    def plan_select(self, select: ast.Select) -> phys.PReturn:
+        block = qualify_block(build_block(select), self._column_lookup)
+        if self.profile is OptimizerProfile.ADVANCED:
+            block = flatten_block(block)
+        root = self._plan_block(block)
+        return phys.PReturn(schema=root.schema, child=root)
+
+    def _column_lookup(self, table_name: str) -> list[str]:
+        return [c.lname for c in self._catalog.table(table_name).columns]
+
+    # -- block planning -------------------------------------------------------
+
+    def _plan_block(self, block: QueryBlock) -> phys.PNode:
+        entries = [self._make_entry(source) for source in block.sources]
+        if not entries:
+            raise PlanError("SELECT without FROM is not supported")
+        conjuncts = self._classify(block.conjuncts, entries)
+        if self.profile is OptimizerProfile.ADVANCED:
+            conjuncts = self._propagate_equalities(conjuncts)
+        needed = self._needed_columns(block)
+
+        order = self._order_entries(entries, conjuncts)
+        consumed: set[int] = set()
+        placed: set[str] = {order[0].binding}
+        node = self._access(
+            order[0], conjuncts, Schema([]), None, consumed, needed
+        )
+        outer_est = self._estimate_access(
+            order[0],
+            list(self._eq_map(order[0], conjuncts, set()).keys()),
+        )
+        node = self._apply_filters(node, conjuncts, placed, consumed)
+        for entry in order[1:]:
+            entry_est = self._estimate_access(
+                entry,
+                list(self._eq_map(entry, conjuncts, placed).keys()),
+            )
+            node = self._join(
+                node, entry, conjuncts, placed, consumed, needed, outer_est
+            )
+            outer_est *= max(1.0, entry_est)
+            placed.add(entry.binding)
+            node = self._apply_filters(node, conjuncts, placed, consumed)
+
+        leftover = [c for c in conjuncts if id(c) not in consumed and not c.derived]
+        if leftover:
+            raise PlanError(
+                f"unplaced predicates: {[c.sql for c in leftover]}"
+            )  # pragma: no cover - indicates a planner bug
+
+        if block.is_aggregating:
+            node = self._plan_group(node, block)
+            node = self._plan_order(node, block, grouped=True)
+        else:
+            node = self._plan_order(node, block, grouped=False)
+        if block.distinct:
+            node = phys.PDistinct(schema=node.schema, child=node)
+        if block.limit is not None:
+            node = phys.PLimit(schema=node.schema, child=node, limit=block.limit)
+        return node
+
+    # -- entries ----------------------------------------------------------------
+
+    def _make_entry(self, source: ast.Source) -> _Entry:
+        binding = source.binding.lower()
+        if isinstance(source, ast.TableSource):
+            table = self._catalog.table(source.name)
+            schema = Schema([Slot(binding, c.lname) for c in table.columns])
+            return _Entry(
+                binding=binding,
+                schema=schema,
+                table=table,
+                est_rows=float(max(1, table.row_count)),
+            )
+        inner = self._plan_block(self._qualified_inner(source.select))
+        names = []
+        inner_block = build_block(source.select)
+        for i, item in enumerate(inner_block.items):
+            names.append(output_name(item, i))
+        schema = Schema([Slot(binding, n) for n in names])
+        return _Entry(
+            binding=binding,
+            schema=schema,
+            derived_plan=inner,
+            est_rows=1000.0,
+        )
+
+    def _qualified_inner(self, select: ast.Select) -> QueryBlock:
+        block = qualify_block(build_block(select), self._column_lookup)
+        if self.profile is OptimizerProfile.ADVANCED:
+            block = flatten_block(block)
+        return block
+
+    # -- conjunct classification ---------------------------------------------------
+
+    def _classify(
+        self, exprs: list[ast.Expr], entries: list[_Entry]
+    ) -> list[_Conjunct]:
+        known = {e.binding for e in entries}
+        out = []
+        for order, expr in enumerate(exprs):
+            bindings = frozenset(b for b in referenced_bindings(expr) if b != "?")
+            unknown = bindings - known
+            if unknown:
+                raise PlanError(f"predicate references unknown bindings {unknown}")
+            out.append(_Conjunct(expr, order, bindings))
+        return out
+
+    def _propagate_equalities(self, conjuncts: list[_Conjunct]) -> list[_Conjunct]:
+        """Derive constant restrictions through equality classes.
+
+        From ``p.id = c.parent`` and ``p.id = ?`` derive ``c.parent = ?``
+        — the pushdown the paper observed in DB2's plan (Figure 8,
+        region 1).
+        """
+        parent: dict[tuple[str, str], tuple[str, str]] = {}
+
+        def find(x):
+            while parent.get(x, x) != x:
+                parent[x] = parent.get(parent[x], parent[x])
+                x = parent[x]
+            return x
+
+        def union(a, b):
+            ra, rb = find(a), find(b)
+            if ra != rb:
+                parent[ra] = rb
+
+        col_eq_col: list[tuple[tuple[str, str], tuple[str, str]]] = []
+        const_binds: dict[tuple[str, str], tuple[ast.Expr, int]] = {}
+        for conjunct in conjuncts:
+            sides = _eq_sides(conjunct.expr)
+            if sides is None:
+                continue
+            left, right = sides
+            l_col = isinstance(left, ast.ColumnRef)
+            r_col = isinstance(right, ast.ColumnRef)
+            if l_col and r_col:
+                a = (left.table, left.column)
+                b = (right.table, right.column)
+                union(a, b)
+                col_eq_col.append((a, b))
+            elif l_col and _is_constant(right):
+                const_binds[(left.table, left.column)] = (right, conjunct.order)
+            elif r_col and _is_constant(left):
+                const_binds[(right.table, right.column)] = (left, conjunct.order)
+
+        existing = {
+            (col, rhs.sql())
+            for col, (rhs, _) in const_binds.items()
+        }
+        derived: list[_Conjunct] = []
+        for col, (rhs, order) in list(const_binds.items()):
+            root = find(col)
+            for other in list(parent.keys()) + [root]:
+                if other == col:
+                    continue
+                if find(other) != root:
+                    continue
+                key = (other, rhs.sql())
+                if key in existing or other in const_binds:
+                    continue
+                existing.add(key)
+                expr = ast.BinaryOp("=", ast.ColumnRef(other[0], other[1]), rhs)
+                derived.append(
+                    _Conjunct(expr, order, frozenset({other[0]}), derived=True)
+                )
+        return conjuncts + derived
+
+    def _needed_columns(self, block: QueryBlock) -> dict[str, set[str]]:
+        needed: dict[str, set[str]] = {}
+
+        def walk(expr) -> None:
+            if isinstance(expr, ast.ColumnRef):
+                if expr.table is not None:
+                    needed.setdefault(expr.table.lower(), set()).add(
+                        expr.column.lower()
+                    )
+            elif isinstance(expr, ast.BinaryOp):
+                walk(expr.left)
+                walk(expr.right)
+            elif isinstance(expr, (ast.UnaryOp, ast.IsNull)):
+                walk(expr.operand)
+            elif isinstance(expr, ast.FuncCall):
+                for a in expr.args:
+                    walk(a)
+            elif isinstance(expr, ast.InList):
+                walk(expr.operand)
+                for i in expr.items:
+                    walk(i)
+            elif isinstance(expr, ast.InSubquery):
+                walk(expr.operand)
+
+        for item in block.items:
+            walk(item.expr)
+        for conjunct in block.conjuncts:
+            walk(conjunct)
+        for expr in block.group_by:
+            walk(expr)
+        if block.having is not None:
+            walk(block.having)
+        for order_item in block.order_by:
+            walk(order_item.expr)
+        return needed
+
+    # -- join ordering -----------------------------------------------------------
+
+    def _order_entries(
+        self, entries: list[_Entry], conjuncts: list[_Conjunct]
+    ) -> list[_Entry]:
+        if len(entries) == 1:
+            return entries
+        if self.profile is OptimizerProfile.SIMPLE:
+            return self._order_simple(entries, conjuncts)
+        return self._order_advanced(entries, conjuncts)
+
+    def _order_simple(
+        self, entries: list[_Entry], conjuncts: list[_Conjunct]
+    ) -> list[_Entry]:
+        by_binding = {e.binding: e for e in entries}
+        driver: _Entry | None = None
+        for conjunct in sorted(conjuncts, key=lambda c: c.order):
+            sides = _eq_sides(conjunct.expr)
+            if sides is None:
+                continue
+            for left, right in (sides, sides[::-1]):
+                if (
+                    isinstance(left, ast.ColumnRef)
+                    and left.table
+                    and _is_constant(right)
+                ):
+                    entry = by_binding.get(left.table.lower())
+                    if entry is None:
+                        continue
+                    if entry.table is not None and entry.table.find_index(
+                        (left.column,)
+                    ):
+                        driver = entry
+                        break
+                    if entry.table is None:
+                        driver = entry
+                        break
+            if driver is not None:
+                break
+        ordered = list(entries)
+        if driver is not None:
+            ordered.remove(driver)
+            ordered.insert(0, driver)
+        return ordered
+
+    def _order_advanced(
+        self, entries: list[_Entry], conjuncts: list[_Conjunct]
+    ) -> list[_Entry]:
+        remaining = list(entries)
+        ordered: list[_Entry] = []
+        placed: set[str] = set()
+
+        def start_cost(entry: _Entry) -> float:
+            eq_map = self._eq_map(entry, conjuncts, placed_bindings=set())
+            return self._estimate_access(entry, list(eq_map.keys()))
+
+        def next_cost(entry: _Entry) -> tuple[int, float]:
+            eq_map = self._eq_map(entry, conjuncts, placed_bindings=placed)
+            connected = any(
+                entry.binding in c.bindings and c.bindings & placed
+                for c in conjuncts
+            )
+            rows = self._estimate_access(entry, list(eq_map.keys()))
+            return (0 if connected else 1, rows)
+
+        first = min(remaining, key=start_cost)
+        ordered.append(first)
+        placed.add(first.binding)
+        remaining.remove(first)
+        while remaining:
+            best = min(remaining, key=next_cost)
+            ordered.append(best)
+            placed.add(best.binding)
+            remaining.remove(best)
+        return ordered
+
+    def _eq_map(
+        self,
+        entry: _Entry,
+        conjuncts: list[_Conjunct],
+        placed_bindings: set[str],
+    ) -> dict[str, tuple[ast.Expr, _Conjunct]]:
+        """Columns of ``entry`` bound by equality to expressions that are
+        evaluable from ``placed_bindings`` (plus constants/params).
+        Textual order decides ties; first bind wins."""
+        eq_map: dict[str, tuple[ast.Expr, _Conjunct]] = {}
+        allowed = placed_bindings
+        for conjunct in sorted(conjuncts, key=lambda c: (c.derived, c.order)):
+            sides = _eq_sides(conjunct.expr)
+            if sides is None:
+                continue
+            for left, right in (sides, sides[::-1]):
+                if not (
+                    isinstance(left, ast.ColumnRef)
+                    and left.table
+                    and left.table.lower() == entry.binding
+                ):
+                    continue
+                rhs_bindings = {
+                    b for b in referenced_bindings(right) if b != "?"
+                }
+                if rhs_bindings - allowed:
+                    continue
+                if rhs_bindings and entry.binding in rhs_bindings:
+                    continue
+                column = left.column.lower()
+                if column not in eq_map:
+                    eq_map[column] = (right, conjunct)
+                break
+        return eq_map
+
+    def _estimate_access(self, entry: _Entry, bound_columns: list[str]) -> float:
+        if entry.table is None:
+            return entry.est_rows
+        table = entry.table
+        rows = float(max(1, table.row_count))
+        if not bound_columns:
+            return rows
+        info = table.find_index(tuple(bound_columns))
+        if info is None:
+            return rows * (0.5 ** len(bound_columns))
+        matched = 0
+        bound = {c.lower() for c in bound_columns}
+        for col in info.column_names:
+            if col.lower() in bound:
+                matched += 1
+            else:
+                break
+        if matched == len(info.column_names) and info.unique:
+            return 1.0
+        # Rows per matched prefix, from the index's incremental
+        # distinct-prefix statistics.
+        distinct = info.btree.prefix_distinct(matched)
+        return max(1.0, rows / max(1, distinct))
+
+    # -- access paths -------------------------------------------------------------
+
+    def _access(
+        self,
+        entry: _Entry,
+        conjuncts: list[_Conjunct],
+        outer_schema: Schema,
+        placed: set[str] | None,
+        consumed: set[int],
+        needed: dict[str, set[str]],
+    ) -> phys.PNode:
+        placed_bindings = placed or set()
+        if entry.table is None:
+            return self._derived_access(entry, conjuncts, consumed)
+        table = entry.table
+        eq_map = self._eq_map(entry, conjuncts, placed_bindings)
+        index_info, prefix = self._choose_index(entry, eq_map, conjuncts)
+
+        # Range bounds on the column right after the equality prefix
+        # narrow the scan; the original (possibly exclusive) predicates
+        # stay in the residual, so bounds are correctness-neutral.
+        range_low = range_high = None
+        range_sql: list[str] = []
+        if index_info is None:
+            index_info, range_low, range_high, range_sql = self._range_index(
+                entry, conjuncts, placed_bindings
+            )
+            prefix = []
+        elif len(prefix) < len(index_info.column_names):
+            next_col = index_info.column_names[len(prefix)].lower()
+            range_low, range_high, range_sql = self._range_bounds(
+                entry, conjuncts, placed_bindings, next_col
+            )
+
+        single = [
+            c
+            for c in conjuncts
+            if id(c) not in consumed
+            and c.bindings == frozenset({entry.binding})
+        ]
+
+        usable_range = range_low is not None or range_high is not None
+        if index_info is None or not (prefix or usable_range):
+            residual_conjuncts = single
+            compiler = ExprCompiler(entry.schema, self._subquery_executor)
+            node: phys.PNode = phys.PTableScan(
+                schema=entry.schema,
+                table_name=table.name,
+                binding=entry.binding,
+                residual=[compiler.compile(c.expr) for c in residual_conjuncts],
+                residual_sql=[c.sql for c in residual_conjuncts],
+            )
+            consumed.update(id(c) for c in residual_conjuncts)
+            self._consume_derived_duplicates(conjuncts, consumed, placed_bindings | {entry.binding})
+            return node
+
+        key_compiler = ExprCompiler(outer_schema, self._subquery_executor)
+        key_exprs, key_sql = [], []
+        for column in prefix:
+            rhs, conjunct = eq_map[column]
+            key_exprs.append(key_compiler.compile(rhs))
+            key_sql.append(f"{entry.binding}.{column} = {rhs.sql()}")
+            consumed.add(id(conjunct))
+
+        needed_cols = set(needed.get(entry.binding, set()))
+        index_cols = {c.lower() for c in index_info.column_names}
+        residual_conjuncts = [
+            c
+            for c in single
+            if id(c) not in consumed
+        ]
+        residual_ok_index_only = all(
+            self._columns_of_binding(c.expr, entry.binding) <= index_cols
+            for c in residual_conjuncts
+        )
+        index_only = needed_cols <= index_cols and residual_ok_index_only
+
+        compiler = ExprCompiler(entry.schema, self._subquery_executor)
+        bound_compiler = ExprCompiler(outer_schema, self._subquery_executor)
+        ixscan = phys.PIndexScan(
+            schema=entry.schema,
+            table_name=table.name,
+            binding=entry.binding,
+            index_name=index_info.name,
+            key_exprs=key_exprs,
+            key_sql=key_sql,
+            index_only=index_only,
+            residual=[compiler.compile(c.expr) for c in residual_conjuncts],
+            residual_sql=[c.sql for c in residual_conjuncts],
+            range_low=bound_compiler.compile(range_low)
+            if range_low is not None
+            else None,
+            range_high=bound_compiler.compile(range_high)
+            if range_high is not None
+            else None,
+            range_sql=range_sql,
+        )
+        consumed.update(id(c) for c in residual_conjuncts)
+        self._consume_derived_duplicates(conjuncts, consumed, placed_bindings | {entry.binding})
+        if index_only:
+            return ixscan
+        return phys.PFetch(schema=entry.schema, child=ixscan, table_name=table.name)
+
+    _RANGE_OPS = {"<", "<=", ">", ">="}
+    _FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+    def _range_bounds(
+        self,
+        entry: _Entry,
+        conjuncts: list[_Conjunct],
+        placed_bindings: set[str],
+        column: str,
+    ) -> tuple[ast.Expr | None, ast.Expr | None, list[str]]:
+        """Range restrictions on one column, evaluable from the outer
+        context.  The first usable lower and upper bound win; the
+        original conjuncts stay in the residual (not consumed)."""
+        low = high = None
+        sqls: list[str] = []
+        for conjunct in sorted(conjuncts, key=lambda c: c.order):
+            if conjunct.derived:
+                continue
+            expr = conjunct.expr
+            if not (
+                isinstance(expr, ast.BinaryOp) and expr.op in self._RANGE_OPS
+            ):
+                continue
+            for lhs, rhs, op in (
+                (expr.left, expr.right, expr.op),
+                (expr.right, expr.left, self._FLIP[expr.op]),
+            ):
+                if not (
+                    isinstance(lhs, ast.ColumnRef)
+                    and lhs.table
+                    and lhs.table.lower() == entry.binding
+                    and lhs.column.lower() == column
+                ):
+                    continue
+                rhs_bindings = {
+                    b for b in referenced_bindings(rhs) if b != "?"
+                }
+                if rhs_bindings - placed_bindings:
+                    continue
+                if op in (">", ">=") and low is None:
+                    low = rhs
+                    sqls.append(f"{entry.binding}.{column} >= {rhs.sql()}")
+                elif op in ("<", "<=") and high is None:
+                    high = rhs
+                    sqls.append(f"{entry.binding}.{column} <= {rhs.sql()}")
+                break
+        return low, high, sqls
+
+    def _range_index(
+        self,
+        entry: _Entry,
+        conjuncts: list[_Conjunct],
+        placed_bindings: set[str],
+    ):
+        """When no equality prefix exists, try an index whose leading
+        column carries a range restriction."""
+        table = entry.table
+        assert table is not None
+        for info in table.indexes.values():
+            leading = info.column_names[0].lower()
+            low, high, sqls = self._range_bounds(
+                entry, conjuncts, placed_bindings, leading
+            )
+            if low is not None or high is not None:
+                return info, low, high, sqls
+        return None, None, None, []
+
+    def _consume_derived_duplicates(
+        self, conjuncts: list[_Conjunct], consumed: set[int], available: set[str]
+    ) -> None:
+        """Derived (propagated) equalities never need re-checking: they are
+        implied by the originals.  Mark available ones consumed."""
+        for conjunct in conjuncts:
+            if conjunct.derived and conjunct.bindings <= available:
+                consumed.add(id(conjunct))
+
+    @staticmethod
+    def _columns_of_binding(expr: ast.Expr, binding: str) -> set[str]:
+        cols: set[str] = set()
+
+        def walk(node):
+            if isinstance(node, ast.ColumnRef):
+                if node.table and node.table.lower() == binding:
+                    cols.add(node.column.lower())
+            elif isinstance(node, ast.BinaryOp):
+                walk(node.left)
+                walk(node.right)
+            elif isinstance(node, (ast.UnaryOp, ast.IsNull)):
+                walk(node.operand)
+            elif isinstance(node, ast.FuncCall):
+                for a in node.args:
+                    walk(a)
+            elif isinstance(node, ast.InList):
+                walk(node.operand)
+                for i in node.items:
+                    walk(i)
+
+        walk(expr)
+        return cols
+
+    def _choose_index(
+        self,
+        entry: _Entry,
+        eq_map: dict[str, tuple[ast.Expr, _Conjunct]],
+        conjuncts: list[_Conjunct],
+    ):
+        table = entry.table
+        assert table is not None
+        if not eq_map:
+            return None, []
+        if self.profile is OptimizerProfile.ADVANCED:
+            info = table.find_index(tuple(eq_map.keys()))
+            if info is None:
+                return None, []
+            prefix = []
+            for col in info.column_names:
+                if col.lower() in eq_map:
+                    prefix.append(col.lower())
+                else:
+                    break
+            return info, prefix
+        # SIMPLE: the index whose leading column is bound by the textually
+        # first predicate wins, even if another index would match longer.
+        ordered_cols = [
+            col
+            for col, (_, conjunct) in sorted(
+                eq_map.items(), key=lambda kv: kv[1][1].order
+            )
+        ]
+        for col in ordered_cols:
+            candidates = [
+                info
+                for info in table.indexes.values()
+                if info.column_names[0].lower() == col
+            ]
+            if not candidates:
+                continue
+            best, best_prefix = None, []
+            for info in candidates:
+                prefix = []
+                for c in info.column_names:
+                    if c.lower() in eq_map:
+                        prefix.append(c.lower())
+                    else:
+                        break
+                if len(prefix) > len(best_prefix):
+                    best, best_prefix = info, prefix
+            if best is not None:
+                return best, best_prefix
+        return None, []
+
+    def _derived_access(
+        self, entry: _Entry, conjuncts: list[_Conjunct], consumed: set[int]
+    ) -> phys.PNode:
+        single = [
+            c
+            for c in conjuncts
+            if id(c) not in consumed and c.bindings == frozenset({entry.binding})
+        ]
+        compiler = ExprCompiler(entry.schema, self._subquery_executor)
+        node = phys.PMaterialize(
+            schema=entry.schema,
+            child=entry.derived_plan,
+            binding=entry.binding,
+            residual=[compiler.compile(c.expr) for c in single],
+            residual_sql=[c.sql for c in single],
+        )
+        consumed.update(id(c) for c in single)
+        return node
+
+    # -- joins --------------------------------------------------------------------
+
+    def _join(
+        self,
+        outer: phys.PNode,
+        entry: _Entry,
+        conjuncts: list[_Conjunct],
+        placed: set[str],
+        consumed: set[int],
+        needed: dict[str, set[str]],
+        outer_est: float = 100.0,
+    ) -> phys.PNode:
+        combined = outer.schema.extend(entry.schema)
+        if entry.table is not None:
+            eq_with_outer = self._eq_map(entry, conjuncts, placed)
+            join_cols = [
+                col
+                for col, (rhs, _) in eq_with_outer.items()
+                if referenced_bindings(rhs) & placed
+            ]
+            _, prefix = self._choose_index(entry, eq_with_outer, conjuncts)
+            use_nl = any(col in join_cols for col in prefix)
+            # Constant-only restrictions (including transitively derived
+            # ones like c.parent = ? from p.id = c.parent AND p.id = ?).
+            const_only = self._eq_map(entry, conjuncts, placed_bindings=set())
+            if self.profile is OptimizerProfile.ADVANCED and join_cols:
+                # Cost-based choice (Figure 8's shape): HSJOIN builds the
+                # constant-restricted access once; NLJOIN probes the
+                # join-key index per outer row.
+                _, const_prefix = self._choose_index(entry, const_only, conjuncts)
+                if const_prefix:
+                    est_full = self._estimate_access(
+                        entry, list(eq_with_outer.keys())
+                    )
+                    est_const = self._estimate_access(
+                        entry, list(const_only.keys())
+                    )
+                    nl_cost = outer_est * (3.0 + est_full)
+                    hs_cost = 2.0 * est_const + outer_est
+                    if hs_cost < nl_cost:
+                        return self._hash_join(
+                            outer,
+                            entry,
+                            conjuncts,
+                            placed,
+                            consumed,
+                            needed,
+                            combined,
+                        )
+            if use_nl:
+                inner = self._access(
+                    entry, conjuncts, outer.schema, placed, consumed, needed
+                )
+                return phys.PNLJoin(schema=combined, outer=outer, inner=inner)
+            if join_cols:
+                return self._hash_join(
+                    outer, entry, conjuncts, placed, consumed, needed, combined
+                )
+            # No join predicate: cross join via nested loop re-scan.
+            inner = self._access(
+                entry, conjuncts, outer.schema, placed, consumed, needed
+            )
+            return phys.PNLJoin(schema=combined, outer=outer, inner=inner)
+        # Derived table inner: hash join if possible, else NL over cache.
+        join_conjuncts = self._joinable_eqs(entry, conjuncts, placed, consumed)
+        inner = self._derived_access(entry, conjuncts, consumed)
+        if join_conjuncts:
+            return self._build_hsjoin(
+                outer, inner, entry, join_conjuncts, consumed, combined
+            )
+        return phys.PNLJoin(schema=combined, outer=outer, inner=inner)
+
+    def _joinable_eqs(
+        self,
+        entry: _Entry,
+        conjuncts: list[_Conjunct],
+        placed: set[str],
+        consumed: set[int],
+    ) -> list[tuple[ast.Expr, ast.Expr, _Conjunct]]:
+        """(outer_expr, inner_expr, conjunct) equality pairs."""
+        pairs = []
+        for conjunct in conjuncts:
+            if id(conjunct) in consumed:
+                continue
+            sides = _eq_sides(conjunct.expr)
+            if sides is None:
+                continue
+            left, right = sides
+            lb = {b for b in referenced_bindings(left) if b != "?"}
+            rb = {b for b in referenced_bindings(right) if b != "?"}
+            # A true join pair needs the outer side to reference at least
+            # one placed binding; constant = column restrictions belong
+            # to the inner access path instead.
+            if lb and lb <= placed and rb == {entry.binding}:
+                pairs.append((left, right, conjunct))
+            elif rb and rb <= placed and lb == {entry.binding}:
+                pairs.append((right, left, conjunct))
+        return pairs
+
+    def _hash_join(
+        self,
+        outer: phys.PNode,
+        entry: _Entry,
+        conjuncts: list[_Conjunct],
+        placed: set[str],
+        consumed: set[int],
+        needed: dict[str, set[str]],
+        combined: Schema,
+    ) -> phys.PNode:
+        join_pairs = self._joinable_eqs(entry, conjuncts, placed, consumed)
+        inner = self._access(
+            entry, conjuncts, Schema([]), set(), consumed, needed
+        )
+        return self._build_hsjoin(outer, inner, entry, join_pairs, consumed, combined)
+
+    def _build_hsjoin(
+        self,
+        outer: phys.PNode,
+        inner: phys.PNode,
+        entry: _Entry,
+        join_pairs: list[tuple[ast.Expr, ast.Expr, _Conjunct]],
+        consumed: set[int],
+        combined: Schema,
+    ) -> phys.PNode:
+        outer_compiler = ExprCompiler(outer.schema, self._subquery_executor)
+        inner_compiler = ExprCompiler(entry.schema, self._subquery_executor)
+        left_keys, right_keys, key_sql = [], [], []
+        for outer_expr, inner_expr, conjunct in join_pairs:
+            left_keys.append(outer_compiler.compile(outer_expr))
+            right_keys.append(inner_compiler.compile(inner_expr))
+            key_sql.append(f"{outer_expr.sql()} = {inner_expr.sql()}")
+            consumed.add(id(conjunct))
+        if not left_keys:
+            return phys.PNLJoin(schema=combined, outer=outer, inner=inner)
+        return phys.PHSJoin(
+            schema=combined,
+            left=outer,
+            right=inner,
+            left_keys=left_keys,
+            right_keys=right_keys,
+            key_sql=key_sql,
+        )
+
+    def _apply_filters(
+        self,
+        node: phys.PNode,
+        conjuncts: list[_Conjunct],
+        placed: set[str],
+        consumed: set[int],
+    ) -> phys.PNode:
+        pending = [
+            c
+            for c in conjuncts
+            if id(c) not in consumed and c.bindings <= placed and not c.derived
+        ]
+        self._consume_derived_duplicates(conjuncts, consumed, placed)
+        if not pending:
+            return node
+        compiler = ExprCompiler(node.schema, self._subquery_executor)
+        predicates = [compiler.compile(c.expr) for c in pending]
+        consumed.update(id(c) for c in pending)
+        return phys.PFilter(
+            schema=node.schema,
+            child=node,
+            predicates=predicates,
+            predicate_sql=[c.sql for c in pending],
+        )
+
+    # -- grouping / projection / ordering -------------------------------------------
+
+    def _plan_group(self, node: phys.PNode, block: QueryBlock) -> phys.PNode:
+        child_compiler = ExprCompiler(node.schema, self._subquery_executor)
+        group_exprs = [child_compiler.compile(e) for e in block.group_by]
+
+        aggs: list[phys.AggSpec] = []
+        agg_index: dict[ast.FuncCall, int] = {}
+
+        def register_aggs(expr: ast.Expr) -> None:
+            if isinstance(expr, ast.FuncCall) and expr.is_aggregate:
+                if expr not in agg_index:
+                    if expr.star:
+                        spec = phys.AggSpec("COUNT_STAR", None)
+                    else:
+                        if len(expr.args) != 1:
+                            raise PlanError(
+                                f"{expr.name} takes exactly one argument"
+                            )
+                        spec = phys.AggSpec(
+                            expr.name.upper(),
+                            child_compiler.compile(expr.args[0]),
+                            expr.distinct,
+                        )
+                    agg_index[expr] = len(aggs)
+                    aggs.append(spec)
+                return
+            if isinstance(expr, ast.BinaryOp):
+                register_aggs(expr.left)
+                register_aggs(expr.right)
+            elif isinstance(expr, (ast.UnaryOp, ast.IsNull)):
+                register_aggs(expr.operand)
+            elif isinstance(expr, ast.FuncCall):
+                for a in expr.args:
+                    register_aggs(a)
+
+        for item in block.items:
+            register_aggs(item.expr)
+        if block.having is not None:
+            register_aggs(block.having)
+        for order_item in block.order_by:
+            register_aggs(order_item.expr)
+
+        # Pseudo-schema over (group keys ..., agg values ...).
+        pseudo_slots = [Slot(None, f"__g{i}") for i in range(len(block.group_by))]
+        pseudo_slots += [Slot(None, f"__a{i}") for i in range(len(aggs))]
+        pseudo = Schema(pseudo_slots)
+        pseudo_compiler = ExprCompiler(pseudo, self._subquery_executor)
+
+        def to_pseudo(expr: ast.Expr) -> ast.Expr:
+            for i, g in enumerate(block.group_by):
+                if expr == g:
+                    return ast.ColumnRef(None, f"__g{i}")
+            if isinstance(expr, ast.FuncCall) and expr.is_aggregate:
+                return ast.ColumnRef(None, f"__a{agg_index[expr]}")
+            if isinstance(expr, ast.BinaryOp):
+                return ast.BinaryOp(
+                    expr.op, to_pseudo(expr.left), to_pseudo(expr.right)
+                )
+            if isinstance(expr, ast.UnaryOp):
+                return ast.UnaryOp(expr.op, to_pseudo(expr.operand))
+            if isinstance(expr, ast.IsNull):
+                return ast.IsNull(to_pseudo(expr.operand), expr.negated)
+            if isinstance(expr, ast.FuncCall):
+                return ast.FuncCall(
+                    expr.name,
+                    tuple(to_pseudo(a) for a in expr.args),
+                    expr.star,
+                    expr.distinct,
+                )
+            if isinstance(expr, ast.ColumnRef):
+                raise PlanError(
+                    f"column {expr.sql()} must appear in GROUP BY or an aggregate"
+                )
+            return expr
+
+        outputs = []
+        for item in block.items:
+            outputs.append(
+                phys.OutputSpec(post=pseudo_compiler.compile(to_pseudo(item.expr)))
+            )
+        having = (
+            pseudo_compiler.compile(to_pseudo(block.having))
+            if block.having is not None
+            else None
+        )
+        out_schema = Schema(
+            [Slot(None, name) for name in block.output_names()]
+        )
+        grp = phys.PGroup(
+            schema=out_schema,
+            child=node,
+            group_exprs=group_exprs,
+            aggs=aggs,
+            outputs=outputs,
+            having=having,
+        )
+        # ORDER BY for grouped queries is handled against the pseudo rows
+        # by storing compiled order keys on the node via _plan_order.
+        grp._pseudo_compiler = pseudo_compiler  # type: ignore[attr-defined]
+        grp._to_pseudo = to_pseudo  # type: ignore[attr-defined]
+        return grp
+
+    def _plan_order(
+        self, node: phys.PNode, block: QueryBlock, *, grouped: bool
+    ) -> phys.PNode:
+        if grouped:
+            out_schema = node.schema
+            if not block.order_by:
+                return node
+            out_compiler = ExprCompiler(out_schema, self._subquery_executor)
+            pseudo_compiler = node._pseudo_compiler  # type: ignore[attr-defined]
+            to_pseudo = node._to_pseudo  # type: ignore[attr-defined]
+            output_width = len(out_schema.slots)
+            keys: list[tuple] = []
+            hidden = 0
+            for order_item in block.order_by:
+                expr = order_item.expr
+                try:
+                    # Aliases / output columns sort on the visible row.
+                    compiled = out_compiler.compile(expr)
+                except EngineError:
+                    # Anything else (ORDER BY COUNT(*), ORDER BY a group
+                    # expression not in the select list) becomes a hidden
+                    # output computed from the pseudo (keys+aggs) row.
+                    try:
+                        post = pseudo_compiler.compile(to_pseudo(expr))
+                    except EngineError:
+                        raise PlanError(
+                            f"ORDER BY {expr.sql()} must reference output "
+                            "columns, GROUP BY expressions, or aggregates"
+                        ) from None
+                    position = output_width + hidden
+                    hidden += 1
+                    node.outputs.append(phys.OutputSpec(post=post))
+                    node.schema.slots.append(Slot(None, f"__ord{position}"))
+                    compiled = (
+                        lambda row, params, position=position: row[position]
+                    )
+                keys.append((compiled, order_item.descending))
+            sort = phys.PSort(schema=node.schema, child=node, keys=keys)
+            if hidden == 0:
+                return sort
+            # Strip the hidden sort keys.
+            visible = Schema(node.schema.slots[:output_width])
+            return phys.PProject(
+                schema=visible,
+                child=sort,
+                exprs=[
+                    (lambda row, params, i=i: row[i])
+                    for i in range(output_width)
+                ],
+                labels=[slot.name for slot in visible.slots],
+            )
+
+        # Non-aggregated: decide sort placement (before or after project).
+        out_names = block.output_names()
+        out_schema = Schema([Slot(None, n) for n in out_names])
+        child_compiler = ExprCompiler(node.schema, self._subquery_executor)
+        exprs = [child_compiler.compile(i.expr) for i in block.items]
+        project = phys.PProject(
+            schema=out_schema,
+            child=node,
+            exprs=exprs,
+            labels=[i.sql() for i in block.items],
+        )
+        if not block.order_by:
+            return project
+        # Try post-projection resolution (aliases / output columns).
+        out_compiler = ExprCompiler(out_schema, self._subquery_executor)
+        post_keys, ok = [], True
+        for order_item in block.order_by:
+            try:
+                post_keys.append(
+                    (out_compiler.compile(order_item.expr), order_item.descending)
+                )
+            except Exception:
+                ok = False
+                break
+        if ok:
+            return phys.PSort(schema=out_schema, child=project, keys=post_keys)
+        pre_keys = [
+            (child_compiler.compile(o.expr), o.descending) for o in block.order_by
+        ]
+        sort = phys.PSort(schema=node.schema, child=node, keys=pre_keys)
+        return phys.PProject(
+            schema=out_schema,
+            child=sort,
+            exprs=exprs,
+            labels=[i.sql() for i in block.items],
+        )

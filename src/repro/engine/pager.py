@@ -1,0 +1,254 @@
+"""Pages and the instrumented buffer pool.
+
+Everything the engine reads or writes goes through a :class:`BufferPool`,
+which maintains the counters the paper reports: logical page reads,
+physical page reads, and buffer-pool hit ratios split between *data* and
+*index* pages (Table 2, Figures 7(c) and 10).
+
+The pool's page capacity is derived from a memory budget, from which the
+catalog first subtracts a fixed per-table meta-data cost (4 KB per table
+by default — the DB2 V9.1 figure quoted in Section 1.1 of the paper).
+This coupling is the mechanism behind Experiment 1: more tables leave
+fewer pool frames, so index root/leaf pages start thrashing.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any
+
+from .errors import EngineError
+
+#: Default page size, 8 KB — the page size used for all user data and
+#: indexes in the paper's experiment (Section 5).
+DEFAULT_PAGE_SIZE = 8192
+
+#: Per-page header / slot directory overhead we charge before payload.
+PAGE_HEADER = 96
+
+
+class PageKind(enum.Enum):
+    """Data pages belong to heap files, index pages to B-trees."""
+
+    DATA = "data"
+    INDEX = "index"
+
+
+@dataclass
+class Page:
+    """A fixed-size page owned by one segment (heap file or index).
+
+    ``payload`` is interpreted by the owning structure: a list of rows for
+    heap pages, a node object for index pages.  ``used`` is the number of
+    payload bytes currently accounted for, maintained by the owner.
+    """
+
+    page_id: int
+    segment_id: int
+    kind: PageKind
+    size: int
+    used: int = 0
+    payload: Any = None
+
+    @property
+    def capacity(self) -> int:
+        """Usable payload bytes."""
+        return self.size - PAGE_HEADER
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self.used
+
+
+@dataclass
+class PoolStats:
+    """Read/write counters, split by page kind.
+
+    *Logical* reads count every page access; *physical* reads count the
+    subset that missed the buffer pool.  The hit ratio is
+    ``1 - physical/logical`` as in DB2's bufferpool snapshot.
+    """
+
+    logical_data: int = 0
+    logical_index: int = 0
+    physical_data: int = 0
+    physical_index: int = 0
+    writes: int = 0
+    evictions: int = 0
+
+    @property
+    def logical_total(self) -> int:
+        return self.logical_data + self.logical_index
+
+    @property
+    def physical_total(self) -> int:
+        return self.physical_data + self.physical_index
+
+    def hit_ratio(self, kind: PageKind | None = None) -> float:
+        """Buffer-pool hit ratio in [0, 1]; 1.0 when nothing was read."""
+        if kind is PageKind.DATA:
+            logical, physical = self.logical_data, self.physical_data
+        elif kind is PageKind.INDEX:
+            logical, physical = self.logical_index, self.physical_index
+        else:
+            logical, physical = self.logical_total, self.physical_total
+        if logical == 0:
+            return 1.0
+        return 1.0 - physical / logical
+
+    def snapshot(self) -> "PoolStats":
+        return PoolStats(
+            self.logical_data,
+            self.logical_index,
+            self.physical_data,
+            self.physical_index,
+            self.writes,
+            self.evictions,
+        )
+
+    def delta(self, earlier: "PoolStats") -> "PoolStats":
+        """Counters accumulated since ``earlier`` (a prior snapshot)."""
+        return PoolStats(
+            self.logical_data - earlier.logical_data,
+            self.logical_index - earlier.logical_index,
+            self.physical_data - earlier.physical_data,
+            self.physical_index - earlier.physical_index,
+            self.writes - earlier.writes,
+            self.evictions - earlier.evictions,
+        )
+
+
+@dataclass
+class _Frame:
+    page: Page
+    pins: int = 0
+    dirty: bool = False
+
+
+class BufferPool:
+    """An LRU buffer pool over a simulated disk.
+
+    The "disk" is the ``_disk`` dict: pages never disappear, but accessing
+    a page that is not resident counts as a physical read and may evict
+    the least-recently-used unpinned frame.  Pinned pages (e.g. B-tree
+    root pages during a descent) are never evicted.
+    """
+
+    def __init__(self, capacity_pages: int, page_size: int = DEFAULT_PAGE_SIZE):
+        if capacity_pages < 1:
+            raise EngineError("buffer pool needs at least one frame")
+        self.capacity_pages = capacity_pages
+        self.page_size = page_size
+        self.stats = PoolStats()
+        self._disk: dict[int, Page] = {}
+        self._frames: OrderedDict[int, _Frame] = OrderedDict()
+        self._next_page_id = 1
+
+    # -- allocation -------------------------------------------------------
+
+    def allocate(self, segment_id: int, kind: PageKind) -> Page:
+        """Create a new page, resident and counted as a write."""
+        page = Page(self._next_page_id, segment_id, kind, self.page_size)
+        self._next_page_id += 1
+        self._disk[page.page_id] = page
+        self._admit(page)
+        self.stats.writes += 1
+        return page
+
+    def free_segment(self, segment_id: int) -> int:
+        """Drop every page of a segment (DROP TABLE/INDEX). Returns count."""
+        doomed = [pid for pid, p in self._disk.items() if p.segment_id == segment_id]
+        for pid in doomed:
+            self._frames.pop(pid, None)
+            del self._disk[pid]
+        return len(doomed)
+
+    # -- access -----------------------------------------------------------
+
+    def read(self, page_id: int, *, pin: bool = False) -> Page:
+        """Access a page, recording a logical (and possibly physical) read."""
+        page = self._disk.get(page_id)
+        if page is None:
+            raise EngineError(f"page {page_id} does not exist")
+        if page.kind is PageKind.DATA:
+            self.stats.logical_data += 1
+        else:
+            self.stats.logical_index += 1
+        frame = self._frames.get(page_id)
+        if frame is None:
+            if page.kind is PageKind.DATA:
+                self.stats.physical_data += 1
+            else:
+                self.stats.physical_index += 1
+            frame = self._admit(page)
+        else:
+            self._frames.move_to_end(page_id)
+        if pin:
+            frame.pins += 1
+        return page
+
+    def unpin(self, page_id: int) -> None:
+        frame = self._frames.get(page_id)
+        if frame is not None and frame.pins > 0:
+            frame.pins -= 1
+
+    def mark_dirty(self, page_id: int) -> None:
+        """Record a write to a resident page."""
+        frame = self._frames.get(page_id)
+        if frame is not None:
+            frame.dirty = True
+        self.stats.writes += 1
+
+    # -- cache control ------------------------------------------------------
+
+    def flush(self) -> None:
+        """Empty the pool (cold-cache experiments, Figure 11)."""
+        self._frames.clear()
+
+    def resize(self, capacity_pages: int) -> None:
+        """Shrink/grow the pool; used when DDL changes the meta-data budget."""
+        if capacity_pages < 1:
+            capacity_pages = 1
+        self.capacity_pages = capacity_pages
+        self._evict_to_capacity()
+
+    @property
+    def resident_pages(self) -> int:
+        return len(self._frames)
+
+    def resident_ratio(self, segment_ids: set[int]) -> float:
+        """Fraction of a segment set's pages currently resident."""
+        total = sum(1 for p in self._disk.values() if p.segment_id in segment_ids)
+        if total == 0:
+            return 1.0
+        resident = sum(
+            1
+            for pid in self._frames
+            if self._disk[pid].segment_id in segment_ids
+        )
+        return resident / total
+
+    # -- internals ----------------------------------------------------------
+
+    def _admit(self, page: Page) -> _Frame:
+        frame = _Frame(page)
+        self._frames[page.page_id] = frame
+        self._frames.move_to_end(page.page_id)
+        self._evict_to_capacity()
+        return frame
+
+    def _evict_to_capacity(self) -> None:
+        while len(self._frames) > self.capacity_pages:
+            victim_id = None
+            for pid, frame in self._frames.items():
+                if frame.pins == 0:
+                    victim_id = pid
+                    break
+            if victim_id is None:
+                # Everything pinned: allow temporary over-commit rather
+                # than deadlocking the simulation.
+                return
+            del self._frames[victim_id]
+            self.stats.evictions += 1

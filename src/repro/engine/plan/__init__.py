@@ -1,0 +1,3 @@
+"""Logical query blocks and physical plan nodes."""
+
+from .logical import QueryBlock, build_block, conjoin, split_conjuncts  # noqa: F401

@@ -1,0 +1,27 @@
+"""SQL front end: lexer, AST, and recursive-descent parser."""
+
+from .ast import (  # noqa: F401
+    BinaryOp,
+    ColumnRef,
+    CreateIndex,
+    CreateTable,
+    Delete,
+    DropIndex,
+    DropTable,
+    FuncCall,
+    InList,
+    InSubquery,
+    Insert,
+    IsNull,
+    Literal,
+    OrderItem,
+    Param,
+    Select,
+    SelectItem,
+    Star,
+    SubquerySource,
+    TableSource,
+    UnaryOp,
+    Update,
+)
+from .parser import parse_statement  # noqa: F401

@@ -1,0 +1,87 @@
+"""Tokenizer for the SQL subset."""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+
+from ..errors import ParseError
+
+
+class TokenKind(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    PARAM = "param"
+    OP = "op"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+KEYWORDS = {
+    "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER",
+    "LIMIT", "AS", "AND", "OR", "NOT", "IN", "IS", "NULL", "TRUE", "FALSE",
+    "JOIN", "INNER", "LEFT", "OUTER", "ON", "ASC", "DESC", "INSERT", "INTO",
+    "VALUES", "UPDATE", "SET", "DELETE", "CREATE", "DROP", "TABLE", "INDEX",
+    "UNIQUE", "BETWEEN", "LIKE", "CASE", "WHEN", "THEN", "ELSE", "END",
+}
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<number>\d+(?:\.\d+)?)
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9$]*)
+  | (?P<param>\?)
+  | (?P<op><>|<=|>=|=|<|>|\|\||[+\-*/])
+  | (?P<punct>[(),.;])
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    position: int
+
+    def matches(self, *keywords: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text in keywords
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize SQL text; raises :class:`ParseError` on garbage."""
+    tokens: list[Token] = []
+    pos = 0
+    n = len(sql)
+    while pos < n:
+        match = _TOKEN_RE.match(sql, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {sql[pos]!r}", pos)
+        pos = match.end()
+        if match.lastgroup == "ws":
+            continue
+        text = match.group()
+        if match.lastgroup == "string":
+            tokens.append(
+                Token(TokenKind.STRING, text[1:-1].replace("''", "'"), match.start())
+            )
+        elif match.lastgroup == "number":
+            tokens.append(Token(TokenKind.NUMBER, text, match.start()))
+        elif match.lastgroup == "ident":
+            upper = text.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenKind.KEYWORD, upper, match.start()))
+            else:
+                tokens.append(Token(TokenKind.IDENT, text, match.start()))
+        elif match.lastgroup == "param":
+            tokens.append(Token(TokenKind.PARAM, "?", match.start()))
+        elif match.lastgroup == "op":
+            tokens.append(Token(TokenKind.OP, text, match.start()))
+        else:
+            tokens.append(Token(TokenKind.PUNCT, text, match.start()))
+    tokens.append(Token(TokenKind.EOF, "", n))
+    return tokens

@@ -1,0 +1,114 @@
+"""Single-session transactions with a logical undo log.
+
+The testbed's transaction strategy (Section 4.2) assumes "the maximum
+granularity for a transaction is the duration of a single user
+request"; the engine supports exactly that: one open transaction per
+database, BEGIN / COMMIT / ROLLBACK, undo via logical inverse
+operations.  DDL is not transactional (as in many of the paper's
+databases, which "cannot perform DDL operations while they are
+on-line") — it commits any open transaction first.
+
+RID stability: undoing a delete re-inserts the row at a fresh RID, so
+the rollback replays entries newest-first and threads a remap table
+through, keeping earlier entries pointed at the row's current location.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from .errors import EngineError
+from .heap import RowId
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .catalog import Table
+
+
+@dataclass
+class _InsertEntry:
+    table: "Table"
+    rid: RowId
+
+
+@dataclass
+class _DeleteEntry:
+    table: "Table"
+    rid: RowId
+    row: tuple
+
+
+@dataclass
+class _UpdateEntry:
+    table: "Table"
+    old_rid: RowId
+    old_row: tuple
+    new_rid: RowId
+
+
+class TransactionManager:
+    """Undo-log bookkeeping for one database."""
+
+    def __init__(self) -> None:
+        self._log: list[object] | None = None
+        self.committed = 0
+        self.rolled_back = 0
+
+    @property
+    def active(self) -> bool:
+        return self._log is not None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def begin(self) -> None:
+        if self.active:
+            raise EngineError("a transaction is already open")
+        self._log = []
+
+    def commit(self) -> None:
+        if not self.active:
+            raise EngineError("no open transaction to commit")
+        self._log = None
+        self.committed += 1
+
+    def commit_if_active(self) -> None:
+        if self.active:
+            self.commit()
+
+    def rollback(self) -> None:
+        if self._log is None:
+            raise EngineError("no open transaction to roll back")
+        log, self._log = self._log, None
+        remap: dict[tuple[int, RowId], RowId] = {}
+
+        def resolve(table: "Table", rid: RowId) -> RowId:
+            return remap.get((id(table), rid), rid)
+
+        for entry in reversed(log):
+            if isinstance(entry, _InsertEntry):
+                entry.table.delete_row(resolve(entry.table, entry.rid))
+            elif isinstance(entry, _DeleteEntry):
+                new_rid = entry.table.insert_row(entry.row)
+                remap[(id(entry.table), entry.rid)] = new_rid
+            elif isinstance(entry, _UpdateEntry):
+                current = resolve(entry.table, entry.new_rid)
+                restored = entry.table.update_row(current, entry.old_row)
+                if restored != entry.old_rid:
+                    remap[(id(entry.table), entry.old_rid)] = restored
+        self.rolled_back += 1
+
+    # -- recording (no-ops outside a transaction) -------------------------------
+
+    def record_insert(self, table: "Table", rid: RowId) -> None:
+        if self._log is not None:
+            self._log.append(_InsertEntry(table, rid))
+
+    def record_delete(self, table: "Table", rid: RowId, row: tuple) -> None:
+        if self._log is not None:
+            self._log.append(_DeleteEntry(table, rid, row))
+
+    def record_update(
+        self, table: "Table", old_rid: RowId, old_row: tuple, new_rid: RowId
+    ) -> None:
+        if self._log is not None:
+            self._log.append(_UpdateEntry(table, old_rid, old_row, new_rid))

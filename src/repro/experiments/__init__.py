@@ -1,0 +1,9 @@
+"""Experiment harnesses regenerating the paper's tables and figures."""
+
+from .manytables import ManyTablesExperiment, ManyTablesRow  # noqa: F401
+from .chunkqueries import (  # noqa: F401
+    ChunkQueryExperiment,
+    ChunkQueryConfig,
+    QueryMeasurement,
+)
+from .report import render_series, render_table  # noqa: F401

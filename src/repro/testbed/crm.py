@@ -1,0 +1,158 @@
+"""The CRM application schema of Figure 5.
+
+Ten tables in a classic DAG-structured OLTP shape with one-to-many
+relationships from child to parent:
+
+::
+
+    Campaign          Account
+       ▲            ▲   ▲   ▲
+       Lead   Opportunity Asset Contact
+                 ▲    ▲          ▲   ▲
+           LineItem  Product   Case Contract
+
+Each table has about 20 columns; the first is the entity id.  "Every
+table has a primary index on the entity ID and a unique compound index
+on the tenant ID and the entity ID.  In addition, there are twelve
+indexes on selected columns for reporting queries and update tasks."
+The twelve reporting indexes are the columns marked ``indexed=True``
+below (beyond the entity/parent ids).
+
+To "programmatically increase the overall number of tables without
+making them too synthetic", multiple copies of the 10-table schema are
+created (:func:`crm_tables` with an instance number); each copy
+represents a logically different set of entities (Section 4.1).
+"""
+
+from __future__ import annotations
+
+from ..core.schema import Extension, LogicalColumn, LogicalTable
+from ..engine.values import BOOLEAN, DATE, DOUBLE, INTEGER, varchar
+
+#: Base table names in definition order.
+CRM_TABLE_NAMES = (
+    "campaign",
+    "account",
+    "lead",
+    "opportunity",
+    "asset",
+    "contact",
+    "lineitem",
+    "product",
+    "case_file",  # "case" alone would collide with the SQL keyword
+    "contract",
+)
+
+#: child -> parent relationships (one-to-many, child holds parent id).
+CRM_PARENTS = {
+    "lead": "campaign",
+    "opportunity": "account",
+    "asset": "account",
+    "contact": "account",
+    "lineitem": "opportunity",
+    "product": "opportunity",
+    "case_file": "contact",
+    "contract": "contact",
+}
+
+#: (table, column) pairs carrying the twelve reporting indexes.
+REPORTING_INDEXES = (
+    ("campaign", "status"),
+    ("campaign", "start_date"),
+    ("account", "name"),
+    ("account", "industry"),
+    ("lead", "status"),
+    ("opportunity", "stage"),
+    ("opportunity", "close_date"),
+    ("contact", "last_name"),
+    ("lineitem", "ship_date"),
+    ("product", "family"),
+    ("case_file", "status"),
+    ("contract", "end_date"),
+)
+
+
+def _payload_columns(table: str) -> list[LogicalColumn]:
+    """~16 generic payload columns so each table lands near the paper's
+    'about 20 columns'."""
+    indexed = {c for t, c in REPORTING_INDEXES if t == table}
+
+    def col(name, sql_type):
+        return LogicalColumn(name, sql_type, indexed=name in indexed)
+
+    return [
+        col("name", varchar(60)),
+        col("status", varchar(20)),
+        col("stage", varchar(20)),
+        col("industry", varchar(30)),
+        col("family", varchar(30)),
+        col("last_name", varchar(40)),
+        col("description", varchar(120)),
+        col("owner", varchar(40)),
+        col("amount", DOUBLE),
+        col("quantity", INTEGER),
+        col("score", INTEGER),
+        col("priority", INTEGER),
+        col("active", BOOLEAN),
+        col("start_date", DATE),
+        col("close_date", DATE),
+        col("ship_date", DATE),
+        col("end_date", DATE),
+        col("created", DATE),
+    ]
+
+
+def instance_table_name(base: str, instance: int) -> str:
+    """Physical-logical name of one schema-instance copy of a table."""
+    return base if instance == 0 else f"{base}_i{instance}"
+
+
+def crm_tables(instance: int = 0) -> list[LogicalTable]:
+    """One full copy of the 10-table CRM schema."""
+    tables = []
+    for base in CRM_TABLE_NAMES:
+        columns = [LogicalColumn("id", INTEGER, indexed=True, not_null=True)]
+        parent = CRM_PARENTS.get(base)
+        if parent is not None:
+            columns.append(LogicalColumn("parent", INTEGER, indexed=True))
+        columns.extend(_payload_columns(base))
+        tables.append(
+            LogicalTable(instance_table_name(base, instance), tuple(columns))
+        )
+    return tables
+
+
+def crm_extensions(instance: int = 0) -> list[Extension]:
+    """Optional per-vertical extensions ('the testbed will eventually
+    offer a set of possible extensions for each base table') — used by
+    the Chunk Folding experiments."""
+    account = instance_table_name("account", instance)
+    contact = instance_table_name("contact", instance)
+    suffix = "" if instance == 0 else f"_i{instance}"
+    return [
+        Extension(
+            f"healthcare{suffix}",
+            account,
+            (
+                LogicalColumn("hospital", varchar(60)),
+                LogicalColumn("beds", INTEGER),
+                LogicalColumn("accreditation", varchar(30)),
+            ),
+        ),
+        Extension(
+            f"automotive{suffix}",
+            account,
+            (
+                LogicalColumn("dealers", INTEGER),
+                LogicalColumn("fleet_size", INTEGER),
+            ),
+        ),
+        Extension(
+            f"gdpr{suffix}",
+            contact,
+            (
+                LogicalColumn("consent", BOOLEAN),
+                LogicalColumn("consent_date", DATE),
+            ),
+        ),
+    ]

@@ -1,0 +1,87 @@
+"""The Controller's card deck (Section 4).
+
+"Following the TPC-C benchmark, the Controller creates a deck of
+'action cards' with a particular distribution, shuffles it, and deals
+cards to the Workers.  The Controller also randomly selects tenants,
+with an equal distribution, and assigns one to each card."
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from .actions import ACTION_DISTRIBUTION, ActionClass
+
+
+@dataclass(frozen=True)
+class Card:
+    action: ActionClass
+    tenant_id: int
+
+
+class CardDeck:
+    """A shuffled deck of (action, tenant) cards."""
+
+    def __init__(
+        self,
+        size: int,
+        tenant_ids: list[int],
+        seed: int = 7,
+        distribution: dict[ActionClass, float] | None = None,
+    ) -> None:
+        if size < 1:
+            raise ValueError("deck size must be positive")
+        if not tenant_ids:
+            raise ValueError("need at least one tenant")
+        self._rng = random.Random(seed)
+        dist = distribution or ACTION_DISTRIBUTION
+        actions = self._materialize(size, dist)
+        self._cards = [
+            Card(action, self._rng.choice(tenant_ids)) for action in actions
+        ]
+        self._rng.shuffle(self._cards)
+        self._next = 0
+
+    def _materialize(
+        self, size: int, distribution: dict[ActionClass, float]
+    ) -> list[ActionClass]:
+        """Largest-remainder apportionment so small classes (Admin at
+        0.01 %) still appear in large decks and every deck size sums
+        exactly."""
+        total = sum(distribution.values())
+        exact = {
+            action: size * share / total for action, share in distribution.items()
+        }
+        counts = {action: int(v) for action, v in exact.items()}
+        leftover = size - sum(counts.values())
+        by_remainder = sorted(
+            exact, key=lambda a: exact[a] - counts[a], reverse=True
+        )
+        for action in by_remainder[:leftover]:
+            counts[action] += 1
+        cards: list[ActionClass] = []
+        for action, count in counts.items():
+            cards.extend([action] * count)
+        return cards
+
+    def __len__(self) -> int:
+        return len(self._cards)
+
+    @property
+    def remaining(self) -> int:
+        return len(self._cards) - self._next
+
+    def deal(self) -> Card | None:
+        """Next card, or None when the deck is exhausted."""
+        if self._next >= len(self._cards):
+            return None
+        card = self._cards[self._next]
+        self._next += 1
+        return card
+
+    def class_counts(self) -> dict[ActionClass, int]:
+        counts: dict[ActionClass, int] = {}
+        for card in self._cards:
+            counts[card.action] = counts.get(card.action, 0) + 1
+        return counts

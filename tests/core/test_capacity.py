@@ -1,0 +1,76 @@
+"""Tests for the Figure 2 capacity model."""
+
+import pytest
+
+from repro.core.capacity import (
+    ApplicationProfile,
+    BLADE_MEMORY,
+    BIG_IRON_MEMORY,
+    CapacityModel,
+    FIGURE2_PROFILES,
+    figure2_estimates,
+)
+from repro.engine.errors import PlanError
+
+
+class TestCapacityModel:
+    def test_blade_table_knee_order_of_magnitude(self):
+        """Paper: 'performance on a blade server begins to degrade
+        beyond about 50,000 tables' (1 GB, 4 KB/table)."""
+        model = CapacityModel(memory_bytes=BLADE_MEMORY)
+        assert 50_000 <= model.max_tables() <= 200_000
+
+    def test_more_memory_more_tenants(self):
+        profile = FIGURE2_PROFILES[2]  # CRM
+        blade = CapacityModel(memory_bytes=BLADE_MEMORY)
+        big = CapacityModel(memory_bytes=BIG_IRON_MEMORY)
+        assert big.max_tenants(profile) > 10 * blade.max_tenants(profile)
+
+    def test_complexity_reduces_tenancy(self):
+        model = CapacityModel(memory_bytes=BLADE_MEMORY)
+        counts = [model.max_tenants(p) for p in FIGURE2_PROFILES]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_fully_private_bounded_by_metadata(self):
+        model = CapacityModel(memory_bytes=BLADE_MEMORY)
+        erp = FIGURE2_PROFILES[-1]
+        assert erp.private_fraction == 1.0
+        # ERP on a blade: the paper's figure shows ~10.
+        assert 1 <= model.max_tenants(erp) <= 100
+
+    def test_shared_bounded_by_working_set(self):
+        model = CapacityModel(memory_bytes=BLADE_MEMORY)
+        email = FIGURE2_PROFILES[0]
+        expected = int(
+            BLADE_MEMORY * model.min_buffer_fraction / email.working_set_bytes
+        )
+        assert model.max_tenants(email) == expected
+
+    def test_oversized_schema_gives_zero(self):
+        tiny = CapacityModel(memory_bytes=64 * 1024)
+        erp = FIGURE2_PROFILES[-1]
+        assert tiny.max_tenants(erp) == 0
+
+    def test_invalid_private_fraction(self):
+        model = CapacityModel(memory_bytes=BLADE_MEMORY)
+        bad = ApplicationProfile("x", 1, 1, 1, private_fraction=2.0)
+        with pytest.raises(PlanError):
+            model.max_tenants(bad)
+
+
+class TestFigure2Estimates:
+    def test_grid_shape(self):
+        rows = figure2_estimates()
+        assert len(rows) == len(FIGURE2_PROFILES) * 2
+
+    def test_paper_magnitudes_on_blade(self):
+        """Figure 2's blade estimates: email ~10,000, CRM ~100, and the
+        estimate bands in between."""
+        by_key = {(app, host): n for app, host, n in figure2_estimates()}
+        assert 5_000 <= by_key[("email", "blade")] <= 50_000
+        assert 100 <= by_key[("crm_srm", "blade")] <= 1_000
+        assert by_key[("erp", "blade")] < 100
+
+    def test_big_iron_scales_up(self):
+        by_key = {(app, host): n for app, host, n in figure2_estimates()}
+        assert by_key[("crm_srm", "big_iron")] >= 10_000  # paper: up to 10,000

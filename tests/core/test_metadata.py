@@ -1,0 +1,131 @@
+"""Unit tests for transformation-layer meta-data: row ids, column ids,
+lock accounting, and the budget report."""
+
+import pytest
+
+from repro.core.metadata import (
+    ColumnIdAllocator,
+    MetadataReport,
+    RowIdAllocator,
+)
+from repro.engine.locks import LockTable
+
+
+class TestRowIdAllocator:
+    def test_monotonic_per_key(self):
+        rows = RowIdAllocator()
+        assert [rows.allocate(1, "t") for _ in range(3)] == [0, 1, 2]
+
+    def test_independent_per_tenant_and_table(self):
+        rows = RowIdAllocator()
+        rows.allocate(1, "t")
+        assert rows.allocate(2, "t") == 0
+        assert rows.allocate(1, "u") == 0
+
+    def test_case_insensitive_table_names(self):
+        rows = RowIdAllocator()
+        rows.allocate(1, "Account")
+        assert rows.allocate(1, "account") == 1
+
+    def test_observe_advances_counter(self):
+        rows = RowIdAllocator()
+        rows.observe(1, "t", 41)
+        assert rows.allocate(1, "t") == 42
+
+    def test_observe_never_regresses(self):
+        rows = RowIdAllocator()
+        rows.observe(1, "t", 10)
+        rows.observe(1, "t", 3)
+        assert rows.allocate(1, "t") == 11
+
+    def test_forget_tenant(self):
+        rows = RowIdAllocator()
+        rows.allocate(1, "t")
+        rows.allocate(2, "t")
+        rows.forget_tenant(1)
+        assert rows.allocate(1, "t") == 0
+        assert rows.allocate(2, "t") == 1
+
+
+class TestColumnIdAllocator:
+    def test_base_columns_positional(self):
+        columns = ColumnIdAllocator()
+        columns.register_base("t", ["a", "b", "c"])
+        assert columns.column_id("t", "a") == 0
+        assert columns.column_id("t", "C") == 2
+
+    def test_extension_columns_continue(self):
+        columns = ColumnIdAllocator()
+        columns.register_base("t", ["a", "b"])
+        columns.register_extension("t", ["x", "y"])
+        assert columns.column_id("t", "x") == 2
+        assert columns.column_id("t", "y") == 3
+
+    def test_two_extensions_get_disjoint_ids(self):
+        columns = ColumnIdAllocator()
+        columns.register_base("t", ["a"])
+        columns.register_extension("t", ["x"])
+        columns.register_extension("t", ["z"])
+        assert columns.column_id("t", "x") == 1
+        assert columns.column_id("t", "z") == 2
+
+    def test_reregistration_keeps_ids_stable(self):
+        columns = ColumnIdAllocator()
+        columns.register_base("t", ["a"])
+        columns.register_extension("t", ["x"])
+        first = columns.column_id("t", "x")
+        columns.register_extension("t", ["x"])  # idempotent for ids
+        assert columns.column_id("t", "x") == first
+
+
+class TestMetadataReport:
+    def test_lines_render(self):
+        report = MetadataReport(
+            layout="chunk_folding",
+            physical_tables=3,
+            physical_indexes=4,
+            metadata_bytes=16384,
+            buffer_pool_pages=100,
+        )
+        text = "\n".join(report.lines())
+        assert "chunk_folding" in text
+        assert "16384" in text
+
+
+class TestLockTable:
+    def test_exclusive_conflicts(self):
+        locks = LockTable()
+        assert locks.acquire(1, "r", exclusive=True) == 0
+        assert locks.acquire(2, "r", exclusive=True) == 1
+        assert locks.stats.conflicts == 1
+
+    def test_shared_locks_coexist(self):
+        locks = LockTable()
+        locks.acquire(1, "r", exclusive=False)
+        assert locks.acquire(2, "r", exclusive=False) == 0
+
+    def test_shared_blocks_exclusive(self):
+        locks = LockTable()
+        locks.acquire(1, "r", exclusive=False)
+        assert locks.acquire(2, "r", exclusive=True) == 1
+
+    def test_reacquire_own_lock_free(self):
+        locks = LockTable()
+        locks.acquire(1, "r", exclusive=True)
+        assert locks.acquire(1, "r", exclusive=True) == 0
+
+    def test_release_session(self):
+        locks = LockTable()
+        locks.acquire(1, "r", exclusive=True)
+        locks.release_session(1)
+        assert locks.acquire(2, "r", exclusive=True) == 0
+        assert locks.held_by(1) == 0
+
+    def test_stats_delta(self):
+        locks = LockTable()
+        locks.acquire(1, "r", exclusive=True)
+        before = locks.stats.snapshot()
+        locks.acquire(2, "r", exclusive=True)
+        delta = locks.stats.delta(before)
+        assert delta.acquisitions == 1
+        assert delta.conflicts == 1

@@ -1,0 +1,60 @@
+"""Edge cases of on-the-fly migration: Trashcan interaction, repeated
+migrations, and empty tenants."""
+
+import pytest
+
+from .conftest import build_running_example
+
+
+class TestMigrationEdgeCases:
+    def test_migrating_empty_tenant(self):
+        mtd = build_running_example("extension")
+        mtd.create_tenant(99)
+        moved = mtd.migrate_tenant(99, "chunk")
+        assert moved == {"account": 0}
+        assert mtd.execute(99, "SELECT COUNT(*) FROM account").rows == [(0,)]
+
+    def test_chained_migrations(self):
+        mtd = build_running_example("extension")
+        before = sorted(mtd.execute(17, "SELECT * FROM account").rows)
+        mtd.migrate_tenant(17, "chunk")
+        mtd.migrate_tenant(17, "universal")
+        mtd.migrate_tenant(17, "pivot")
+        assert sorted(mtd.execute(17, "SELECT * FROM account").rows) == before
+
+    def test_migration_empties_the_trashcan(self):
+        """Migration copies the *live* logical state; soft-deleted rows
+        do not follow the tenant (the reconstruction the migrator reads
+        filters alive = 1, and the source fragments are purged)."""
+        mtd = build_running_example("chunk", soft_delete=True)
+        mtd.execute(17, "DELETE FROM account WHERE aid = 1")
+        mtd.migrate_tenant(17, "extension", soft_delete=True)
+        assert mtd.execute(17, "SELECT COUNT(*) FROM account").rows == [(1,)]
+        # The trashed row is gone for good: restore finds nothing.
+        mtd.restore(17, "account", [0])
+        assert mtd.execute(17, "SELECT COUNT(*) FROM account").rows == [(1,)]
+
+    def test_migration_between_chunk_widths(self):
+        mtd = build_running_example("chunk", width=1)
+        before = sorted(mtd.execute(17, "SELECT * FROM account").rows)
+        mtd.migrate_tenant(17, "chunk", width=6)
+        assert sorted(mtd.execute(17, "SELECT * FROM account").rows) == before
+
+    def test_two_tenants_on_two_override_layouts(self):
+        mtd = build_running_example("extension")
+        mtd.migrate_tenant(17, "chunk")
+        mtd.migrate_tenant(42, "universal")
+        assert mtd.execute(
+            17, "SELECT beds FROM account WHERE hospital = 'State'"
+        ).rows == [(1042,)]
+        assert mtd.execute(42, "SELECT dealers FROM account").rows == [(65,)]
+        assert mtd.execute(35, "SELECT name FROM account").rows == [("Ball",)]
+
+    def test_insert_after_chain_keeps_unique_row_ids(self):
+        mtd = build_running_example("extension")
+        mtd.migrate_tenant(17, "universal")
+        mtd.migrate_tenant(17, "chunk")
+        first = mtd.insert(17, "account", {"aid": 50, "name": "x"})
+        second = mtd.insert(17, "account", {"aid": 51, "name": "y"})
+        assert second == first + 1
+        assert first >= 2

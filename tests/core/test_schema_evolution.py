@@ -1,0 +1,140 @@
+"""Tests for online schema evolution: widening an extension while the
+system runs (§6.3 ALTER bookkeeping) across every layout."""
+
+import pytest
+
+from repro import LogicalColumn
+from repro.engine.errors import CatalogError, PlanError
+from repro.engine.values import INTEGER, varchar
+
+from .conftest import ALL_LAYOUTS, build_running_example
+
+NEW_COLUMNS = (
+    LogicalColumn("wards", INTEGER),
+    LogicalColumn("director", varchar(40)),
+)
+
+
+class TestAlterExtension:
+    @pytest.mark.parametrize("layout", ALL_LAYOUTS)
+    def test_existing_rows_read_null(self, layout):
+        mtd = build_running_example(layout)
+        mtd.alter_extension("healthcare", NEW_COLUMNS)
+        rows = mtd.execute(
+            17, "SELECT aid, wards, director FROM account ORDER BY aid"
+        ).rows
+        assert rows == [(1, None, None), (2, None, None)]
+
+    @pytest.mark.parametrize("layout", ALL_LAYOUTS)
+    def test_new_inserts_carry_values(self, layout):
+        mtd = build_running_example(layout)
+        mtd.alter_extension("healthcare", NEW_COLUMNS)
+        mtd.insert(
+            17,
+            "account",
+            {"aid": 3, "name": "NewHosp", "wards": 12, "director": "dr. who"},
+        )
+        rows = mtd.execute(
+            17, "SELECT wards, director FROM account WHERE aid = 3"
+        ).rows
+        assert rows == [(12, "dr. who")]
+
+    @pytest.mark.parametrize("layout", ALL_LAYOUTS)
+    def test_old_columns_untouched(self, layout):
+        mtd = build_running_example(layout)
+        before = sorted(
+            mtd.execute(17, "SELECT aid, name, hospital, beds FROM account").rows
+        )
+        mtd.alter_extension("healthcare", NEW_COLUMNS)
+        after = sorted(
+            mtd.execute(17, "SELECT aid, name, hospital, beds FROM account").rows
+        )
+        assert before == after
+
+    @pytest.mark.parametrize("layout", ALL_LAYOUTS)
+    def test_updates_on_new_columns(self, layout):
+        mtd = build_running_example(layout)
+        mtd.alter_extension("healthcare", NEW_COLUMNS)
+        count = mtd.execute(
+            17, "UPDATE account SET wards = 5 WHERE aid = 1"
+        ).rowcount
+        assert count == 1
+        assert mtd.execute(
+            17, "SELECT wards FROM account WHERE aid = 1"
+        ).rows == [(5,)]
+
+    def test_unsubscribed_tenants_unaffected(self):
+        mtd = build_running_example("chunk_folding")
+        mtd.alter_extension("healthcare", NEW_COLUMNS)
+        from repro.engine.errors import UnknownObjectError
+
+        with pytest.raises(UnknownObjectError):
+            mtd.execute(35, "SELECT wards FROM account")
+
+    def test_generic_layout_needs_no_conventional_ddl(self):
+        mtd = build_running_example("chunk_folding")
+        ddl_before = mtd.db.catalog.ddl_statements
+        base_columns_before = len(mtd.db.catalog.table("account_cf").columns)
+        mtd.alter_extension("healthcare", NEW_COLUMNS)
+        # The conventional base table is untouched; at most new chunk
+        # tables were created.
+        assert len(mtd.db.catalog.table("account_cf").columns) == (
+            base_columns_before
+        )
+        assert mtd.db.catalog.has_table("account_cf")
+
+    def test_collision_with_base_column_rejected(self):
+        mtd = build_running_example("chunk")
+        with pytest.raises(CatalogError):
+            mtd.alter_extension(
+                "healthcare", (LogicalColumn("name", INTEGER),)
+            )
+
+    def test_collision_with_own_column_rejected(self):
+        mtd = build_running_example("chunk")
+        with pytest.raises(CatalogError):
+            mtd.alter_extension(
+                "healthcare", (LogicalColumn("beds", INTEGER),)
+            )
+
+    def test_universal_overflow_rejected(self):
+        mtd = build_running_example("universal", width=6)
+        # base (3) + healthcare (2) = 5; two more columns overflow 6.
+        with pytest.raises(PlanError):
+            mtd.alter_extension("healthcare", NEW_COLUMNS)
+
+    def test_alter_then_grant_to_new_tenant(self):
+        mtd = build_running_example("chunk_folding")
+        mtd.alter_extension("healthcare", NEW_COLUMNS)
+        mtd.grant_extension(35, "healthcare")
+        mtd.insert(
+            35,
+            "account",
+            {"aid": 9, "name": "Late", "hospital": "H", "beds": 3, "wards": 1},
+        )
+        assert mtd.execute(
+            35, "SELECT wards FROM account WHERE aid = 9"
+        ).rows == [(1,)]
+
+    def test_soft_delete_state_preserved_through_alter(self):
+        mtd = build_running_example("chunk", soft_delete=True)
+        mtd.execute(17, "DELETE FROM account WHERE aid = 1")
+        mtd.alter_extension("healthcare", NEW_COLUMNS)
+        # Trashed row stays trashed, live row readable with new column.
+        assert mtd.execute(17, "SELECT COUNT(*) FROM account").rows == [(1,)]
+        mtd.restore(17, "account", [0])
+        rows = mtd.execute(
+            17, "SELECT aid, wards FROM account ORDER BY aid"
+        ).rows
+        assert rows == [(1, None), (2, None)]
+
+    def test_alter_after_migration_reaches_both_layouts(self):
+        mtd = build_running_example("extension")
+        mtd.migrate_tenant(17, "chunk")
+        mtd.alter_extension("healthcare", NEW_COLUMNS)
+        # Migrated tenant (chunk) and stay-behind tenant both work.
+        assert mtd.execute(
+            17, "SELECT wards FROM account WHERE aid = 1"
+        ).rows == [(None,)]
+        mtd.grant_extension(35, "healthcare")
+        assert mtd.execute(35, "SELECT COUNT(*) FROM account").rows == [(1,)]

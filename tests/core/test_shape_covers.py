@@ -1,0 +1,145 @@
+"""Tests for shape covers: spending a bounded meta-data budget on
+Chunk Tables (merge/fit/waste algebra + layout integration)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.folding import (
+    ChunkShape,
+    assign_cover,
+    merge_shapes,
+    select_cover_shapes,
+    shape_fits,
+    shape_waste,
+    total_waste,
+)
+from repro.engine.errors import PlanError
+
+from .conftest import build_running_example
+
+I1S1 = ChunkShape(ints=1, strs=1)
+I2 = ChunkShape(ints=2)
+S2D1 = ChunkShape(strs=2, dates=1)
+WIDE = ChunkShape(ints=3, strs=3, dates=2, dbls=1)
+
+
+class TestShapeAlgebra:
+    def test_merge_is_elementwise_max(self):
+        assert merge_shapes(I1S1, I2) == ChunkShape(ints=2, strs=1)
+
+    def test_merge_commutes(self):
+        assert merge_shapes(I1S1, S2D1) == merge_shapes(S2D1, I1S1)
+
+    def test_fits(self):
+        assert shape_fits(WIDE, I1S1)
+        assert not shape_fits(I2, I1S1)  # no string slot
+
+    def test_waste(self):
+        assert shape_waste(WIDE, I1S1) == WIDE.width - 2
+        assert shape_waste(I1S1, I1S1) == 0
+
+    def test_waste_requires_fit(self):
+        with pytest.raises(PlanError):
+            shape_waste(I2, S2D1)
+
+    shapes = st.builds(
+        ChunkShape,
+        ints=st.integers(0, 4),
+        strs=st.integers(0, 4),
+        dates=st.integers(0, 3),
+        dbls=st.integers(0, 3),
+    ).filter(lambda s: s.width > 0)
+
+    @settings(max_examples=80, deadline=None)
+    @given(a=shapes, b=shapes)
+    def test_merge_fits_both(self, a, b):
+        merged = merge_shapes(a, b)
+        assert shape_fits(merged, a)
+        assert shape_fits(merged, b)
+        assert merged.width <= a.width + b.width
+
+
+class TestCoverSelection:
+    DEMAND = {I1S1: 100, I2: 50, S2D1: 20, WIDE: 5}
+
+    def test_budget_at_distinct_count_is_identity(self):
+        covers = select_cover_shapes(self.DEMAND, budget=4)
+        assert set(covers) == set(self.DEMAND)
+        assert total_waste(self.DEMAND, covers) == 0
+
+    def test_budget_one_merges_everything(self):
+        covers = select_cover_shapes(self.DEMAND, budget=1)
+        assert len(covers) == 1
+        for shape in self.DEMAND:
+            assert shape_fits(covers[0], shape)
+
+    def test_tighter_budget_never_reduces_waste(self):
+        wastes = [
+            total_waste(self.DEMAND, select_cover_shapes(self.DEMAND, b))
+            for b in (4, 3, 2, 1)
+        ]
+        assert wastes == sorted(wastes)
+
+    def test_heavy_shapes_stay_tight(self):
+        """The greedy merge prefers padding light shapes: the heavy
+        I1S1 demand should keep a zero-waste home at budget 3."""
+        covers = select_cover_shapes(self.DEMAND, budget=3)
+        assert shape_waste(assign_cover(covers, I1S1), I1S1) == 0
+
+    def test_invalid_budget(self):
+        with pytest.raises(PlanError):
+            select_cover_shapes(self.DEMAND, budget=0)
+
+    def test_empty_demand(self):
+        assert select_cover_shapes({}, budget=3) == []
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        demand=st.dictionaries(
+            TestShapeAlgebra.shapes, st.integers(1, 50), min_size=1, max_size=6
+        ),
+        budget=st.integers(1, 6),
+    )
+    def test_cover_always_hosts_all_demand(self, demand, budget):
+        covers = select_cover_shapes(demand, budget)
+        assert len(covers) <= budget
+        for shape in demand:
+            assert shape_fits(assign_cover(covers, shape), shape)
+
+
+class TestLayoutIntegration:
+    def test_cover_shapes_bound_table_count(self):
+        wide_cover = ChunkShape(ints=4, strs=4, dates=2)
+        constrained = build_running_example(
+            "chunk", width=2, cover_shapes=[wide_cover]
+        )
+        plain = build_running_example("chunk", width=2)
+        chunk_tables = lambda mtd: {
+            t.name
+            for t in mtd.db.catalog.tables()
+            if t.name.startswith("chunk_") and not t.name.endswith("_ix")
+        }
+        assert len(chunk_tables(constrained)) == 1
+        assert len(chunk_tables(plain)) > 1
+
+    def test_queries_still_correct_under_covers(self):
+        wide_cover = ChunkShape(ints=4, strs=4, dates=2)
+        mtd = build_running_example("chunk", width=2, cover_shapes=[wide_cover])
+        assert mtd.execute(
+            17, "SELECT beds FROM account WHERE hospital = 'State'"
+        ).rows == [(1042,)]
+        assert mtd.execute(17, "SELECT COUNT(*) FROM account").rows == [(2,)]
+
+    def test_dml_still_correct_under_covers(self):
+        wide_cover = ChunkShape(ints=4, strs=4, dates=2)
+        mtd = build_running_example("chunk", width=2, cover_shapes=[wide_cover])
+        mtd.execute(17, "UPDATE account SET beds = 7 WHERE aid = 2")
+        assert mtd.execute(
+            17, "SELECT beds FROM account WHERE aid = 2"
+        ).rows == [(7,)]
+        assert mtd.execute(17, "DELETE FROM account WHERE aid = 1").rowcount == 1
+
+    def test_unfittable_chunk_raises(self):
+        tiny_cover = ChunkShape(ints=1)
+        with pytest.raises(PlanError):
+            build_running_example("chunk", width=2, cover_shapes=[tiny_cover])

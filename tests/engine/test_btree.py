@@ -1,0 +1,189 @@
+"""Tests for the B+-tree: correctness against a model, splits,
+prefix scans, and prefix compression."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.btree import BTreeIndex
+from repro.engine.errors import UniqueViolation
+from repro.engine.heap import RowId
+from repro.engine.pager import BufferPool, PageKind
+
+
+def make_index(unique=False, prefix_compression=True, capacity=256):
+    pool = BufferPool(capacity_pages=capacity)
+    return BTreeIndex(
+        pool, segment_id=1, unique=unique, prefix_compression=prefix_compression
+    ), pool
+
+
+def rid(n):
+    return RowId(page_id=n, slot=0)
+
+
+class TestBasics:
+    def test_insert_search(self):
+        index, _ = make_index()
+        index.insert((5,), rid(1))
+        assert index.search((5,)) == [rid(1)]
+
+    def test_missing_key_returns_empty(self):
+        index, _ = make_index()
+        assert index.search((42,)) == []
+
+    def test_duplicate_keys_accumulate_rids(self):
+        index, _ = make_index()
+        index.insert((5,), rid(1))
+        index.insert((5,), rid(2))
+        assert set(index.search((5,))) == {rid(1), rid(2)}
+
+    def test_unique_rejects_duplicates(self):
+        index, _ = make_index(unique=True)
+        index.insert((5,), rid(1))
+        with pytest.raises(UniqueViolation):
+            index.insert((5,), rid(2))
+
+    def test_delete(self):
+        index, _ = make_index()
+        index.insert((5,), rid(1))
+        assert index.delete((5,), rid(1)) is True
+        assert index.search((5,)) == []
+
+    def test_delete_missing_returns_false(self):
+        index, _ = make_index()
+        assert index.delete((5,), rid(1)) is False
+
+    def test_distinct_keys_counter(self):
+        index, _ = make_index()
+        index.insert((1,), rid(1))
+        index.insert((1,), rid(2))
+        index.insert((2,), rid(3))
+        assert index.distinct_keys == 2
+        index.delete((1,), rid(1))
+        assert index.distinct_keys == 2
+        index.delete((1,), rid(2))
+        assert index.distinct_keys == 1
+
+
+class TestSplits:
+    def test_many_inserts_split_and_stay_searchable(self):
+        index, _ = make_index()
+        n = 3000
+        for i in range(n):
+            index.insert((i, f"value-{i}"), rid(i))
+        assert index.height > 1
+        for i in (0, 1, n // 2, n - 1):
+            assert index.search((i, f"value-{i}")) == [rid(i)]
+
+    def test_reverse_insert_order(self):
+        index, _ = make_index()
+        for i in reversed(range(2000)):
+            index.insert((i,), rid(i))
+        keys = [k for k, _ in index.scan_prefix(())]
+        assert keys == [(i,) for i in range(2000)]
+
+    def test_descent_reads_one_page_per_level(self):
+        index, pool = make_index()
+        for i in range(5000):
+            index.insert((i,), rid(i))
+        before = pool.stats.snapshot()
+        index.search((2500,))
+        delta = pool.stats.delta(before)
+        assert delta.logical_index == index.height
+
+
+class TestPrefixScan:
+    def test_prefix_scan_filters_leading_columns(self):
+        index, _ = make_index()
+        for tenant in (17, 35, 42):
+            for row in range(10):
+                index.insert((tenant, 0, row), rid(tenant * 100 + row))
+        results = list(index.scan_prefix((17,)))
+        assert len(results) == 10
+        assert all(k[0] == 17 for k, _ in results)
+
+    def test_empty_prefix_scans_everything(self):
+        index, _ = make_index()
+        for i in range(100):
+            index.insert((i % 5, i), rid(i))
+        assert len(list(index.scan_prefix(()))) == 100
+
+    def test_prefix_scan_in_key_order(self):
+        index, _ = make_index()
+        for i in reversed(range(50)):
+            index.insert((1, i), rid(i))
+        keys = [k for k, _ in index.scan_prefix((1,))]
+        assert keys == sorted(keys, key=lambda k: k[1])
+
+    def test_prefix_scan_across_leaf_boundaries(self):
+        index, _ = make_index()
+        for i in range(3000):
+            index.insert((7, i), rid(i))
+        index.insert((8, 0), rid(9999))
+        assert len(list(index.scan_prefix((7,)))) == 3000
+
+    def test_range_scan(self):
+        index, _ = make_index()
+        for i in range(100):
+            index.insert((i,), rid(i))
+        results = [k[0] for k, _ in index.scan_range((10,), (20,))]
+        assert results == list(range(10, 21))
+
+
+class TestPrefixCompression:
+    def test_compression_reduces_index_pages(self):
+        """Redundant leading columns (Tenant, Table, Chunk) compress well
+        — the paper's partitioned-B-tree argument."""
+        compressed, _ = make_index(prefix_compression=True)
+        plain, _ = make_index(prefix_compression=False)
+        for i in range(4000):
+            key = ("tenant-000017", "account_table", 3, i)
+            compressed.insert(key, rid(i))
+            plain.insert(key, rid(i))
+        assert compressed.page_count < plain.page_count
+
+
+class TestPropertyBased:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        entries=st.lists(
+            st.tuples(st.integers(0, 50), st.integers(0, 1000)), max_size=400
+        )
+    )
+    def test_matches_dict_model(self, entries):
+        index, _ = make_index()
+        model: dict[tuple, list] = {}
+        for i, (a, b) in enumerate(entries):
+            key = (a, b)
+            index.insert(key, rid(i))
+            model.setdefault(key, []).append(rid(i))
+        for key, rids in model.items():
+            assert sorted(index.search(key), key=lambda r: r.page_id) == sorted(
+                rids, key=lambda r: r.page_id
+            )
+        scanned = list(index.scan_prefix(()))
+        assert len(scanned) == sum(len(v) for v in model.values())
+        keys = [k for k, _ in scanned]
+        assert keys == sorted(keys)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        keys=st.lists(st.integers(0, 200), min_size=1, max_size=200),
+        deletions=st.data(),
+    )
+    def test_insert_delete_interleaving(self, keys, deletions):
+        index, _ = make_index()
+        live: dict[tuple, list] = {}
+        for i, k in enumerate(keys):
+            index.insert((k,), rid(i))
+            live.setdefault((k,), []).append(rid(i))
+            if deletions.draw(st.booleans()) and live:
+                victim_key = deletions.draw(st.sampled_from(sorted(live)))
+                victim_rid = live[victim_key][0]
+                assert index.delete(victim_key, victim_rid)
+                live[victim_key].remove(victim_rid)
+                if not live[victim_key]:
+                    del live[victim_key]
+        assert index.entry_count == sum(len(v) for v in live.values())
+        for key, rids in live.items():
+            assert set(index.search(key)) == set(rids)

@@ -1,0 +1,86 @@
+"""Unit tests for plan rendering and executor edge cases."""
+
+import pytest
+
+from repro.engine import Database
+from repro.engine.explain import count_operators, plan_shape, render_plan
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE t (id INTEGER NOT NULL, v INTEGER, s VARCHAR(10))")
+    database.execute("CREATE UNIQUE INDEX t_pk ON t (id)")
+    for i in range(30):
+        database.execute(
+            "INSERT INTO t VALUES (?, ?, ?)", [i, i % 5, f"s{i % 3}"]
+        )
+    return database
+
+
+class TestRendering:
+    def test_render_is_indented_tree(self, db):
+        text = db.explain("SELECT v FROM t WHERE id = 3")
+        lines = text.splitlines()
+        assert lines[0] == "RETURN"
+        assert lines[1].startswith("  ")
+        assert "IXSCAN" in text
+
+    def test_plan_shape_compact(self, db):
+        shape = plan_shape(db.plan("SELECT v FROM t WHERE id = 3"))
+        assert shape == "RETURN(PROJECT(FETCH(IXSCAN)))"
+
+    def test_count_operators(self, db):
+        root = db.plan("SELECT v FROM t ORDER BY v LIMIT 3")
+        assert count_operators(root, "SORT") == 1
+        assert count_operators(root, "LIMIT") == 1
+        assert count_operators(root, "TBSCAN") == 1
+
+    def test_describe_details_present(self, db):
+        text = render_plan(db.plan("SELECT v FROM t WHERE id = ?"))
+        assert "t_pk" in text
+        assert "t.id = ?" in text
+
+
+class TestExecutorEdges:
+    def test_sort_is_stable_across_keys(self, db):
+        rows = db.execute("SELECT v, id FROM t ORDER BY v, id DESC").rows
+        # Within each v group ids strictly descend; groups ascend.
+        for (v1, i1), (v2, i2) in zip(rows, rows[1:]):
+            assert v1 <= v2
+            if v1 == v2:
+                assert i1 > i2
+
+    def test_sort_nulls_first(self, db):
+        db.execute("INSERT INTO t VALUES (99, NULL, 'x')")
+        rows = db.execute("SELECT v FROM t ORDER BY v LIMIT 1").rows
+        assert rows == [(None,)]
+
+    def test_distinct_preserves_first_seen_order(self, db):
+        rows = db.execute("SELECT DISTINCT s FROM t").rows
+        assert rows == [("s0",), ("s1",), ("s2",)]
+
+    def test_limit_zero(self, db):
+        assert db.execute("SELECT v FROM t LIMIT 0").rows == []
+
+    def test_having_without_group_on_global_aggregate(self, db):
+        rows = db.execute(
+            "SELECT COUNT(*) FROM t GROUP BY s HAVING COUNT(*) > 100"
+        ).rows
+        assert rows == []
+
+    def test_group_by_expression(self, db):
+        rows = db.execute(
+            "SELECT v * 2, COUNT(*) FROM t GROUP BY v * 2 ORDER BY v * 2"
+        ).rows
+        assert [r[0] for r in rows] == [0, 2, 4, 6, 8]
+
+    def test_avg_of_empty_group_is_null(self, db):
+        rows = db.execute("SELECT AVG(v) FROM t WHERE id > 1000").rows
+        assert rows == [(None,)]
+
+    def test_order_by_aggregate_not_in_select(self, db):
+        rows = db.execute(
+            "SELECT s FROM t GROUP BY s ORDER BY COUNT(*) DESC, s"
+        ).rows
+        assert len(rows) == 3

@@ -1,0 +1,269 @@
+"""Tests for the two optimizer profiles: plan shapes, flattening,
+transitive predicate propagation, and predicate-order sensitivity."""
+
+import pytest
+
+from repro.engine import Database, OptimizerProfile
+from repro.engine.explain import count_operators, plan_shape, render_plan
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute(
+        "CREATE TABLE parent (id INTEGER NOT NULL, col1 INTEGER, col2 VARCHAR(100))"
+    )
+    database.execute(
+        "CREATE TABLE child (id INTEGER NOT NULL, parent INTEGER, col1 INTEGER)"
+    )
+    database.execute("CREATE UNIQUE INDEX parent_pk ON parent (id)")
+    database.execute("CREATE INDEX child_fk ON child (parent, id)")
+    for i in range(1, 401):
+        database.execute(
+            "INSERT INTO parent VALUES (?, ?, ?)",
+            [i, i * 10, f"p{i}".ljust(90, "x")],
+        )
+        for j in range(4):
+            database.execute(
+                "INSERT INTO child VALUES (?, ?, ?)", [i * 1000 + j, i, j]
+            )
+    return database
+
+
+JOIN_SQL = (
+    "SELECT p.id, p.col1, c.col1 FROM parent p, child c "
+    "WHERE p.id = c.parent AND p.id = ?"
+)
+
+# The §6.1 transformation shape: the derived table reconstructs the
+# logical source, the *outer* query applies the selective predicate.
+NESTED_SQL = (
+    "SELECT d.x FROM (SELECT p.col1 AS x, p.id AS pid FROM parent p) AS d "
+    "WHERE d.pid = ?"
+)
+
+
+class TestAdvancedProfile:
+    def test_uses_indexes_for_point_join(self, db):
+        shape = plan_shape(db.plan(JOIN_SQL))
+        assert "TBSCAN" not in shape
+        assert "IXSCAN" in shape
+
+    SIBLING_SQL = (
+        "SELECT c.id, d.id FROM child c, child d "
+        "WHERE c.parent = d.parent AND c.parent = ?"
+    )
+
+    def test_transitive_propagation_restricts_both_sides(self, db):
+        """From c.parent = d.parent and c.parent = ? the second access
+        must be keyed on the constant (Figure 8 region 1's pushdown)."""
+        plan_text = render_plan(db.plan(self.SIBLING_SQL))
+        assert "d.parent = ?" in plan_text
+
+    def test_hash_join_of_two_index_accesses(self, db):
+        """With a non-unique driver, both sides are constant-restricted
+        index scans combined by a hash join — Figure 8's region 3."""
+        shape = plan_shape(db.plan(self.SIBLING_SQL))
+        assert "HSJOIN" in shape
+        rows = db.execute(self.SIBLING_SQL, [5]).rows
+        assert len(rows) == 16
+
+    def test_unique_driver_prefers_nested_loop(self, db):
+        """A single-row outer makes per-row index probes cheaper than
+        building a hash table."""
+        shape = plan_shape(db.plan(JOIN_SQL))
+        assert "NLJOIN" in shape
+
+    def test_flattens_nested_from_subquery(self, db):
+        shape = plan_shape(db.plan(NESTED_SQL))
+        assert "MATERIALIZE" not in shape
+        assert "IXSCAN" in shape
+
+    def test_flattened_results_match(self, db):
+        rows = db.execute(NESTED_SQL, [9]).rows
+        assert rows == [(90,)]
+
+    def test_join_results_match_filter_semantics(self, db):
+        rows = db.execute(JOIN_SQL, [7]).rows
+        assert len(rows) == 4
+        assert all(r[0] == 7 and r[1] == 70 for r in rows)
+
+    def test_nonflattenable_subquery_is_materialized(self, db):
+        sql = (
+            "SELECT d.n FROM (SELECT c.parent AS pr, COUNT(*) AS n "
+            "FROM child c GROUP BY c.parent) AS d WHERE d.pr = 5"
+        )
+        shape = plan_shape(db.plan(sql))
+        assert "MATERIALIZE" in shape
+        assert db.execute(sql).rows == [(4,)]
+
+
+class TestSimpleProfile:
+    def test_does_not_flatten(self, db):
+        db.profile = OptimizerProfile.SIMPLE
+        shape = plan_shape(db.plan(NESTED_SQL))
+        assert "MATERIALIZE" in shape
+
+    def test_same_answers_as_advanced(self, db):
+        expected = sorted(db.execute(JOIN_SQL, [7]).rows)
+        db.profile = OptimizerProfile.SIMPLE
+        assert sorted(db.execute(JOIN_SQL, [7]).rows) == expected
+
+    def test_nested_same_answers(self, db):
+        expected = db.execute(NESTED_SQL, [9]).rows
+        db.profile = OptimizerProfile.SIMPLE
+        assert db.execute(NESTED_SQL, [9]).rows == expected
+
+    def test_materialization_costs_more_reads(self, db):
+        """The SIMPLE profile builds the whole derived table before
+        filtering — the Test 1 penalty."""
+        before = db.pool_stats.snapshot()
+        db.execute(NESTED_SQL, [9])
+        advanced_reads = db.pool_stats.delta(before).logical_total
+
+        db.profile = OptimizerProfile.SIMPLE
+        before = db.pool_stats.snapshot()
+        db.execute(NESTED_SQL, [9])
+        simple_reads = db.pool_stats.delta(before).logical_total
+        assert simple_reads > advanced_reads
+
+    def test_predicate_order_changes_plan(self, db):
+        """MySQL-style sensitivity: the driving access follows the
+        textually first indexable predicate."""
+        db.profile = OptimizerProfile.SIMPLE
+        selective_first = (
+            "SELECT p.id, c.col1 FROM parent p, child c "
+            "WHERE p.id = ? AND p.id = c.parent"
+        )
+        unselective_first = (
+            "SELECT p.id, c.col1 FROM child c, parent p "
+            "WHERE c.col1 = c.col1 AND p.id = c.parent AND p.id = ?"
+        )
+        good = render_plan(db.plan(selective_first))
+        assert good.find("parent") < good.find("child")
+
+    def test_no_transitive_propagation(self, db):
+        db.profile = OptimizerProfile.SIMPLE
+        plan_text = render_plan(db.plan(JOIN_SQL))
+        assert "child_fk(c.parent = ?)" not in plan_text
+
+
+class TestIndexOnlyAccess:
+    def test_index_only_when_covered(self, db):
+        sql = "SELECT c.parent, c.id FROM child c WHERE c.parent = ?"
+        plan_text = render_plan(db.plan(sql))
+        assert "index-only" in plan_text
+        assert "FETCH" not in plan_text
+
+    def test_fetch_when_not_covered(self, db):
+        sql = "SELECT c.col1 FROM child c WHERE c.parent = ?"
+        plan_text = render_plan(db.plan(sql))
+        assert "FETCH" in plan_text
+
+    def test_index_only_results_match(self, db):
+        rows = db.execute(
+            "SELECT c.parent, c.id FROM child c WHERE c.parent = ?", [3]
+        ).rows
+        assert sorted(rows) == [(3, 3000), (3, 3001), (3, 3002), (3, 3003)]
+
+
+class TestRangeScans:
+    def test_range_on_leading_index_column(self, db):
+        plan_text = render_plan(db.plan("SELECT p.col2 FROM parent p WHERE p.id > 390"))
+        assert "IXSCAN" in plan_text
+        assert "p.id >= 390" in plan_text
+
+    def test_between_uses_both_bounds(self, db):
+        plan_text = render_plan(
+            db.plan("SELECT p.col2 FROM parent p WHERE p.id BETWEEN 10 AND 20")
+        )
+        assert "p.id >= 10" in plan_text
+        assert "p.id <= 20" in plan_text
+
+    def test_range_after_equality_prefix(self, db):
+        plan_text = render_plan(
+            db.plan(
+                "SELECT c.col1 FROM child c WHERE c.parent = 5 AND c.id < 5002"
+            )
+        )
+        assert "c.parent = 5" in plan_text
+        assert "c.id <= 5002" in plan_text
+
+    def test_exclusive_bounds_recheck_exactly(self, db):
+        rows = db.execute(
+            "SELECT p.id FROM parent p WHERE p.id > 398 AND p.id < 400"
+        ).rows
+        assert rows == [(399,)]
+
+    def test_range_scan_reads_fewer_pages_than_table_scan(self, db):
+        sql_range = "SELECT COUNT(*) FROM parent p WHERE p.id > 395"
+        db.execute(sql_range)  # warm
+        before = db.pool_stats.snapshot()
+        db.execute(sql_range)
+        range_reads = db.pool_stats.delta(before).logical_total
+        sql_scan = "SELECT COUNT(*) FROM parent p WHERE p.col1 > 3950"
+        db.execute(sql_scan)
+        before = db.pool_stats.snapshot()
+        db.execute(sql_scan)
+        scan_reads = db.pool_stats.delta(before).logical_total
+        assert range_reads < scan_reads
+
+    def test_null_range_bound_matches_nothing(self, db):
+        rows = db.execute(
+            "SELECT p.id FROM parent p WHERE p.id > ?", [None]
+        ).rows
+        assert rows == []
+
+
+class TestPlanShapes:
+    def test_full_scan_without_predicates(self, db):
+        shape = plan_shape(db.plan("SELECT p.id FROM parent p"))
+        assert "TBSCAN" in shape
+
+    def test_group_plan_has_grpby(self, db):
+        shape = plan_shape(
+            db.plan("SELECT c.parent, COUNT(*) FROM child c GROUP BY c.parent")
+        )
+        assert "GRPBY" in shape
+
+    def test_order_by_adds_sort(self, db):
+        shape = plan_shape(db.plan("SELECT p.id FROM parent p ORDER BY p.col1"))
+        assert "SORT" in shape
+
+    def test_three_way_join_chains(self, db):
+        sql = (
+            "SELECT p.id FROM parent p, child c, child d "
+            "WHERE p.id = ? AND p.id = c.parent AND d.parent = c.parent"
+        )
+        root = db.plan(sql)
+        joins = count_operators(root, "NLJOIN") + count_operators(root, "HSJOIN")
+        assert joins == 2
+        rows = db.execute(sql, [5]).rows
+        assert len(rows) == 16  # 4 children x 4 children
+
+
+class TestCorrectnessAcrossProfiles:
+    """Differential testing: both profiles must agree on results."""
+
+    QUERIES = [
+        ("SELECT p.col1 FROM parent p WHERE p.id = ?", [13]),
+        (JOIN_SQL, [21]),
+        (NESTED_SQL, [40]),
+        (
+            "SELECT c.parent, COUNT(*) AS n, SUM(c.col1) AS s FROM child c "
+            "GROUP BY c.parent HAVING COUNT(*) > 3 ORDER BY n DESC, c.parent "
+            "LIMIT 5",
+            [],
+        ),
+        (
+            "SELECT DISTINCT c.col1 FROM child c WHERE c.parent IN (1, 2, 3)",
+            [],
+        ),
+    ]
+
+    @pytest.mark.parametrize("sql,params", QUERIES)
+    def test_profiles_agree(self, db, sql, params):
+        advanced = sorted(db.execute(sql, params).rows)
+        db.profile = OptimizerProfile.SIMPLE
+        simple = sorted(db.execute(sql, params).rows)
+        assert advanced == simple

@@ -1,0 +1,152 @@
+"""Tests for pages, the LRU buffer pool, and its counters."""
+
+import pytest
+
+from repro.engine.errors import EngineError
+from repro.engine.pager import PAGE_HEADER, BufferPool, PageKind
+
+
+def make_pool(capacity=4):
+    return BufferPool(capacity_pages=capacity, page_size=8192)
+
+
+class TestAllocation:
+    def test_allocate_assigns_increasing_ids(self):
+        pool = make_pool()
+        a = pool.allocate(1, PageKind.DATA)
+        b = pool.allocate(1, PageKind.DATA)
+        assert b.page_id > a.page_id
+
+    def test_capacity_excludes_header(self):
+        pool = make_pool()
+        page = pool.allocate(1, PageKind.DATA)
+        assert page.capacity == 8192 - PAGE_HEADER
+
+    def test_allocation_counts_as_write(self):
+        pool = make_pool()
+        pool.allocate(1, PageKind.DATA)
+        assert pool.stats.writes == 1
+
+    def test_pool_requires_a_frame(self):
+        with pytest.raises(EngineError):
+            BufferPool(capacity_pages=0)
+
+
+class TestReadCounters:
+    def test_resident_read_is_logical_only(self):
+        pool = make_pool()
+        page = pool.allocate(1, PageKind.DATA)
+        pool.read(page.page_id)
+        assert pool.stats.logical_data == 1
+        assert pool.stats.physical_data == 0
+
+    def test_miss_counts_physical(self):
+        pool = make_pool(capacity=1)
+        a = pool.allocate(1, PageKind.DATA)
+        pool.allocate(1, PageKind.DATA)  # evicts a
+        pool.read(a.page_id)
+        assert pool.stats.physical_data == 1
+
+    def test_index_and_data_counted_separately(self):
+        pool = make_pool()
+        d = pool.allocate(1, PageKind.DATA)
+        i = pool.allocate(2, PageKind.INDEX)
+        pool.read(d.page_id)
+        pool.read(i.page_id)
+        assert pool.stats.logical_data == 1
+        assert pool.stats.logical_index == 1
+
+    def test_read_unknown_page_raises(self):
+        pool = make_pool()
+        with pytest.raises(EngineError):
+            pool.read(999)
+
+
+class TestEviction:
+    def test_lru_evicts_least_recent(self):
+        pool = make_pool(capacity=2)
+        a = pool.allocate(1, PageKind.DATA)
+        b = pool.allocate(1, PageKind.DATA)
+        pool.read(a.page_id)  # a is now most recent
+        pool.allocate(1, PageKind.DATA)  # must evict b
+        pool.read(a.page_id)
+        assert pool.stats.physical_data == 0
+        pool.read(b.page_id)
+        assert pool.stats.physical_data == 1
+
+    def test_pinned_pages_survive_eviction(self):
+        pool = make_pool(capacity=2)
+        a = pool.allocate(1, PageKind.DATA)
+        pool.read(a.page_id, pin=True)
+        pool.allocate(1, PageKind.DATA)
+        pool.allocate(1, PageKind.DATA)
+        pool.read(a.page_id)
+        assert pool.stats.physical_data == 0
+        pool.unpin(a.page_id)
+
+    def test_flush_empties_pool(self):
+        pool = make_pool()
+        a = pool.allocate(1, PageKind.DATA)
+        pool.flush()
+        assert pool.resident_pages == 0
+        pool.read(a.page_id)
+        assert pool.stats.physical_data == 1
+
+    def test_resize_shrinks_pool(self):
+        pool = make_pool(capacity=4)
+        pages = [pool.allocate(1, PageKind.DATA) for _ in range(4)]
+        pool.resize(1)
+        assert pool.resident_pages == 1
+        # Only the most recently used page stays.
+        pool.read(pages[-1].page_id)
+        assert pool.stats.physical_data == 0
+
+
+class TestHitRatio:
+    def test_perfect_hit_ratio(self):
+        pool = make_pool()
+        page = pool.allocate(1, PageKind.DATA)
+        for _ in range(10):
+            pool.read(page.page_id)
+        assert pool.stats.hit_ratio() == 1.0
+
+    def test_hit_ratio_by_kind(self):
+        pool = make_pool(capacity=1)
+        d = pool.allocate(1, PageKind.DATA)
+        i = pool.allocate(2, PageKind.INDEX)  # evicts d
+        pool.read(d.page_id)  # miss
+        pool.read(d.page_id)  # hit
+        assert pool.stats.hit_ratio(PageKind.DATA) == 0.5
+        assert pool.stats.hit_ratio(PageKind.INDEX) == 1.0
+
+    def test_no_reads_is_ratio_one(self):
+        assert make_pool().stats.hit_ratio() == 1.0
+
+
+class TestSnapshots:
+    def test_delta_isolates_an_interval(self):
+        pool = make_pool()
+        page = pool.allocate(1, PageKind.DATA)
+        pool.read(page.page_id)
+        before = pool.stats.snapshot()
+        pool.read(page.page_id)
+        pool.read(page.page_id)
+        delta = pool.stats.delta(before)
+        assert delta.logical_data == 2
+
+
+class TestSegments:
+    def test_free_segment_drops_pages(self):
+        pool = make_pool()
+        a = pool.allocate(1, PageKind.DATA)
+        pool.allocate(2, PageKind.DATA)
+        dropped = pool.free_segment(1)
+        assert dropped == 1
+        with pytest.raises(EngineError):
+            pool.read(a.page_id)
+
+    def test_resident_ratio(self):
+        pool = make_pool(capacity=1)
+        pool.allocate(1, PageKind.DATA)
+        pool.allocate(1, PageKind.DATA)
+        assert pool.resident_ratio({1}) == 0.5

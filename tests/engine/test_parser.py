@@ -1,0 +1,232 @@
+"""Tests for the SQL lexer/parser and SQL rendering round-trips."""
+
+import pytest
+
+from repro.engine.errors import ParseError
+from repro.engine.sql import ast
+from repro.engine.sql.lexer import TokenKind, tokenize
+from repro.engine.sql.parser import parse_statement
+
+
+class TestLexer:
+    def test_keywords_upcased(self):
+        tokens = tokenize("select From")
+        assert tokens[0].text == "SELECT"
+        assert tokens[1].text == "FROM"
+
+    def test_string_escapes(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].text == "it's"
+
+    def test_params(self):
+        tokens = tokenize("? ?")
+        assert [t.kind for t in tokens[:2]] == [TokenKind.PARAM, TokenKind.PARAM]
+
+    def test_operators(self):
+        tokens = tokenize("<> <= >= ||")
+        assert [t.text for t in tokens[:4]] == ["<>", "<=", ">=", "||"]
+
+    def test_garbage_raises_with_position(self):
+        with pytest.raises(ParseError) as info:
+            tokenize("SELECT @")
+        assert info.value.position == 7
+
+
+class TestSelectParsing:
+    def test_simple(self):
+        stmt = parse_statement("SELECT a FROM t")
+        assert isinstance(stmt, ast.Select)
+        assert stmt.sources[0].name == "t"
+
+    def test_star(self):
+        stmt = parse_statement("SELECT * FROM t")
+        assert isinstance(stmt.items[0].expr, ast.Star)
+
+    def test_qualified_star(self):
+        stmt = parse_statement("SELECT t.* FROM t")
+        assert stmt.items[0].expr == ast.Star("t")
+
+    def test_aliases(self):
+        stmt = parse_statement("SELECT a AS x, b y FROM t AS u")
+        assert stmt.items[0].alias == "x"
+        assert stmt.items[1].alias == "y"
+        assert stmt.sources[0].alias == "u"
+
+    def test_comma_join_and_where(self):
+        stmt = parse_statement(
+            "SELECT p.id FROM parent p, child c WHERE p.id = c.parent AND p.id = ?"
+        )
+        assert len(stmt.sources) == 2
+        assert isinstance(stmt.where, ast.BinaryOp)
+
+    def test_explicit_join_becomes_where(self):
+        stmt = parse_statement(
+            "SELECT p.id FROM parent p JOIN child c ON p.id = c.parent"
+        )
+        assert len(stmt.sources) == 2
+        assert stmt.where is not None
+
+    def test_nested_subquery_in_from(self):
+        stmt = parse_statement(
+            "SELECT a.x FROM (SELECT b.y AS x FROM b WHERE b.y > 1) AS a"
+        )
+        assert isinstance(stmt.sources[0], ast.SubquerySource)
+        assert stmt.sources[0].alias == "a"
+
+    def test_group_by_having(self):
+        stmt = parse_statement(
+            "SELECT t.a, COUNT(*) FROM t GROUP BY t.a HAVING COUNT(*) > 2"
+        )
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+
+    def test_order_limit(self):
+        stmt = parse_statement("SELECT a FROM t ORDER BY a DESC, b LIMIT 10")
+        assert stmt.order_by[0].descending is True
+        assert stmt.order_by[1].descending is False
+        assert stmt.limit == 10
+
+    def test_distinct(self):
+        assert parse_statement("SELECT DISTINCT a FROM t").distinct
+
+    def test_in_list(self):
+        stmt = parse_statement("SELECT a FROM t WHERE a IN (1, 2, 3)")
+        assert isinstance(stmt.where, ast.InList)
+
+    def test_in_subquery(self):
+        stmt = parse_statement("SELECT a FROM t WHERE a IN (SELECT b FROM u)")
+        assert isinstance(stmt.where, ast.InSubquery)
+
+    def test_not_in(self):
+        stmt = parse_statement("SELECT a FROM t WHERE a NOT IN (1)")
+        assert stmt.where.negated
+
+    def test_between(self):
+        stmt = parse_statement("SELECT a FROM t WHERE a BETWEEN 1 AND 5")
+        assert isinstance(stmt.where, ast.BinaryOp)
+        assert stmt.where.op == "AND"
+
+    def test_is_null(self):
+        stmt = parse_statement("SELECT a FROM t WHERE a IS NOT NULL")
+        assert stmt.where == ast.IsNull(ast.ColumnRef(None, "a"), negated=True)
+
+    def test_like(self):
+        stmt = parse_statement("SELECT a FROM t WHERE a LIKE 'x%'")
+        assert stmt.where.op == "LIKE"
+
+    def test_param_indexes_in_order(self):
+        stmt = parse_statement("SELECT a FROM t WHERE a = ? AND b = ?")
+        left, right = stmt.where.left, stmt.where.right
+        assert left.right.index == 0
+        assert right.right.index == 1
+
+    def test_count_star(self):
+        stmt = parse_statement("SELECT COUNT(*) FROM t")
+        assert stmt.items[0].expr.star
+
+    def test_count_distinct(self):
+        stmt = parse_statement("SELECT COUNT(DISTINCT a) FROM t")
+        assert stmt.items[0].expr.distinct
+
+    def test_arithmetic_precedence(self):
+        stmt = parse_statement("SELECT a + b * 2 FROM t")
+        expr = stmt.items[0].expr
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_negative_literal(self):
+        stmt = parse_statement("SELECT a FROM t WHERE a > -5")
+        assert isinstance(stmt.where.right, ast.UnaryOp)
+
+
+class TestDmlParsing:
+    def test_insert_positional(self):
+        stmt = parse_statement("INSERT INTO t VALUES (1, 'x', NULL)")
+        assert isinstance(stmt, ast.Insert)
+        assert stmt.columns == ()
+        assert len(stmt.rows[0]) == 3
+
+    def test_insert_with_columns(self):
+        stmt = parse_statement("INSERT INTO t (a, b) VALUES (?, ?)")
+        assert stmt.columns == ("a", "b")
+
+    def test_insert_multi_row(self):
+        stmt = parse_statement("INSERT INTO t VALUES (1), (2), (3)")
+        assert len(stmt.rows) == 3
+
+    def test_update(self):
+        stmt = parse_statement("UPDATE t SET a = 1, b = b + 1 WHERE id = ?")
+        assert isinstance(stmt, ast.Update)
+        assert len(stmt.assignments) == 2
+
+    def test_delete(self):
+        stmt = parse_statement("DELETE FROM t WHERE id = 1")
+        assert isinstance(stmt, ast.Delete)
+
+
+class TestDdlParsing:
+    def test_create_table(self):
+        stmt = parse_statement(
+            "CREATE TABLE t (id INTEGER NOT NULL, name VARCHAR(100), d DATE)"
+        )
+        assert isinstance(stmt, ast.CreateTable)
+        assert stmt.columns[0].not_null
+        assert stmt.columns[1].type_text == "VARCHAR(100)"
+
+    def test_create_index(self):
+        stmt = parse_statement("CREATE UNIQUE INDEX i ON t (a, b)")
+        assert isinstance(stmt, ast.CreateIndex)
+        assert stmt.unique
+        assert stmt.columns == ("a", "b")
+
+    def test_drop_table(self):
+        assert isinstance(parse_statement("DROP TABLE t"), ast.DropTable)
+
+    def test_drop_index(self):
+        stmt = parse_statement("DROP INDEX i ON t")
+        assert isinstance(stmt, ast.DropIndex)
+
+
+class TestErrors:
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT a FROM t extra garbage here")
+
+    def test_unbalanced_paren(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT a FROM (SELECT b FROM t AS x")
+
+    def test_empty_statement(self):
+        with pytest.raises(ParseError):
+            parse_statement("")
+
+    def test_dangling_not(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT a FROM t WHERE a NOT 5")
+
+
+class TestSqlRoundTrip:
+    """Every statement's .sql() must re-parse to an equivalent AST —
+    the query-transformation layer relies on this."""
+
+    CASES = [
+        "SELECT a FROM t",
+        "SELECT DISTINCT t.a AS x FROM t WHERE t.a > 5",
+        "SELECT p.id, c.col1 FROM parent AS p, child AS c "
+        "WHERE p.id = c.parent AND p.id = ?",
+        "SELECT a.x FROM (SELECT b.y AS x FROM b WHERE b.y = ?) AS a",
+        "SELECT t.a, COUNT(*) AS n FROM t GROUP BY t.a HAVING COUNT(*) > 2 "
+        "ORDER BY n DESC LIMIT 5",
+        "SELECT a FROM t WHERE a IN (1, 2) AND b IS NULL",
+        "INSERT INTO t (a, b) VALUES (1, 'it''s')",
+        "UPDATE t SET a = a + 1 WHERE b = ?",
+        "DELETE FROM t WHERE a IN (SELECT b FROM u WHERE u.c = ?)",
+        "CREATE TABLE t (id INTEGER NOT NULL, name VARCHAR(10))",
+        "CREATE UNIQUE INDEX i ON t (a, b)",
+    ]
+
+    @pytest.mark.parametrize("sql", CASES)
+    def test_roundtrip(self, sql):
+        first = parse_statement(sql)
+        second = parse_statement(first.sql())
+        assert first == second

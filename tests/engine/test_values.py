@@ -1,0 +1,147 @@
+"""Tests for SQL types, widths, and the VARCHAR funnel."""
+
+import datetime
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.engine.errors import TypeMismatchError
+from repro.engine.values import (
+    BIGINT,
+    BOOLEAN,
+    DATE,
+    DOUBLE,
+    INTEGER,
+    NULL_WIDTH,
+    SqlType,
+    TypeKind,
+    parse_type,
+    sort_key,
+    varchar,
+)
+
+
+class TestTypeConstruction:
+    def test_varchar_requires_length(self):
+        with pytest.raises(TypeMismatchError):
+            SqlType(TypeKind.VARCHAR)
+
+    def test_varchar_rejects_nonpositive_length(self):
+        with pytest.raises(TypeMismatchError):
+            varchar(0)
+
+    def test_fixed_types_reject_length(self):
+        with pytest.raises(TypeMismatchError):
+            SqlType(TypeKind.INTEGER, 4)
+
+    def test_str(self):
+        assert str(varchar(100)) == "VARCHAR(100)"
+        assert str(INTEGER) == "INTEGER"
+
+
+class TestWidths:
+    def test_fixed_widths(self):
+        assert INTEGER.max_width == 4
+        assert BIGINT.max_width == 8
+        assert DOUBLE.max_width == 8
+        assert DATE.max_width == 4
+        assert BOOLEAN.max_width == 1
+
+    def test_varchar_max_width_includes_header(self):
+        assert varchar(100).max_width == 102
+
+    def test_null_width_is_one_byte(self):
+        assert INTEGER.value_width(None) == NULL_WIDTH
+        assert varchar(100).value_width(None) == NULL_WIDTH
+
+    def test_varchar_value_width_is_actual_length(self):
+        assert varchar(100).value_width("abc") == 5  # 3 + header
+
+
+class TestChecking:
+    def test_integer_accepts_int(self):
+        assert INTEGER.check(42) == 42
+
+    def test_integer_rejects_bool(self):
+        with pytest.raises(TypeMismatchError):
+            INTEGER.check(True)
+
+    def test_integer_rejects_string(self):
+        with pytest.raises(TypeMismatchError):
+            INTEGER.check("42")
+
+    def test_double_accepts_int(self):
+        assert DOUBLE.check(1) == 1.0
+        assert isinstance(DOUBLE.check(1), float)
+
+    def test_varchar_length_enforced(self):
+        with pytest.raises(TypeMismatchError):
+            varchar(2).check("abc")
+
+    def test_date_accepts_iso_string(self):
+        assert DATE.check("2008-06-09") == datetime.date(2008, 6, 9)
+
+    def test_date_rejects_bad_string(self):
+        with pytest.raises(TypeMismatchError):
+            DATE.check("not-a-date")
+
+    def test_null_passes_all_types(self):
+        for sql_type in (INTEGER, DOUBLE, DATE, BOOLEAN, varchar(5)):
+            assert sql_type.check(None) is None
+
+
+class TestVarcharFunnel:
+    """The Universal/Pivot layouts store every type in VARCHAR columns."""
+
+    @given(st.integers(min_value=-(2**40), max_value=2**40))
+    def test_integer_roundtrip(self, value):
+        assert BIGINT.from_varchar(BIGINT.to_varchar(value)) == value
+
+    @given(st.dates())
+    def test_date_roundtrip(self, value):
+        assert DATE.from_varchar(DATE.to_varchar(value)) == value
+
+    @given(st.booleans())
+    def test_boolean_roundtrip(self, value):
+        assert BOOLEAN.from_varchar(BOOLEAN.to_varchar(value)) is value
+
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    def test_double_roundtrip(self, value):
+        assert DOUBLE.from_varchar(DOUBLE.to_varchar(value)) == value
+
+    @given(st.text(max_size=50))
+    def test_text_roundtrip(self, value):
+        t = varchar(50)
+        assert t.from_varchar(t.to_varchar(value)) == value
+
+    def test_null_roundtrip(self):
+        assert INTEGER.to_varchar(None) is None
+        assert INTEGER.from_varchar(None) is None
+
+
+class TestParseType:
+    def test_parse_varchar(self):
+        assert parse_type("VARCHAR(100)") == varchar(100)
+
+    def test_parse_case_insensitive(self):
+        assert parse_type("integer") == INTEGER
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(TypeMismatchError):
+            parse_type("BLOB")
+
+    def test_parse_rejects_malformed_varchar(self):
+        with pytest.raises(TypeMismatchError):
+            parse_type("VARCHAR(x)")
+
+
+class TestSortKey:
+    def test_nulls_sort_first(self):
+        values = [3, None, 1]
+        assert sorted(values, key=sort_key) == [None, 1, 3]
+
+    def test_mixed_types_are_totally_ordered(self):
+        values = ["b", 2, None, datetime.date(2008, 1, 1), "a", 1]
+        ordered = sorted(values, key=sort_key)
+        assert ordered[0] is None
+        assert sorted(ordered, key=sort_key) == ordered

@@ -1,0 +1,47 @@
+"""Tests for the `python -m repro.experiments` runner."""
+
+import pytest
+
+from repro.experiments.__main__ import COMMANDS, main
+
+
+class TestCli:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "100000" in out
+
+    def test_fig8_tiny(self, capsys):
+        assert main(["fig8", "--parents", "6", "--children", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "RETURN" in out
+        assert "IXSCAN" in out
+
+    def test_grouping_tiny(self, capsys):
+        assert (
+            main(["grouping", "--parents", "6", "--children", "2"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "conventional" in out
+        assert "chunk3" in out
+
+    def test_multiple_artifacts(self, capsys):
+        assert main(["table1", "fig8", "--parents", "6", "--children", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "RETURN" in out
+
+    def test_unknown_artifact_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["nonsense"])
+
+    def test_all_commands_registered(self):
+        assert set(COMMANDS) == {
+            "table1",
+            "table2",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "grouping",
+        }

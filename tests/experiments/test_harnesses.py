@@ -1,0 +1,153 @@
+"""Tests for the experiment harnesses at miniature scale."""
+
+import pytest
+
+from repro.experiments.chunkqueries import (
+    ChunkQueryConfig,
+    ChunkQueryExperiment,
+    child_table,
+    experiment_columns,
+    parent_table,
+    q2_sql,
+    TENANT,
+)
+from repro.experiments.manytables import ManyTablesExperiment
+from repro.experiments.report import render_series, render_table
+from repro.testbed.generator import TenantDataProfile
+
+
+class TestExperimentSchema:
+    def test_columns_evenly_distributed(self):
+        columns = experiment_columns(90)
+        kinds = [str(c.type) for c in columns]
+        assert kinds.count("INTEGER") == 30
+        assert kinds.count("DATE") == 30
+        assert kinds.count("VARCHAR(100)") == 30
+
+    def test_parent_has_id_plus_data(self):
+        table = parent_table(9)
+        assert len(table.columns) == 10
+        assert table.columns[0].indexed
+
+    def test_child_has_foreign_key(self):
+        table = child_table(9)
+        assert table.columns[1].lname == "parent"
+        assert table.columns[1].indexed
+
+    def test_q2_sql_scale(self):
+        sql = q2_sql(3)
+        assert sql.count("p.col") == 3
+        assert sql.count("c.col") == 3
+        assert "p.id = c.parent" in sql
+
+
+SMALL = ChunkQueryConfig(parents=8, children_per_parent=3, data_columns=12)
+
+
+class TestChunkQueryExperiment:
+    @pytest.fixture(scope="class")
+    def conventional(self):
+        exp = ChunkQueryExperiment("private", SMALL)
+        exp.load()
+        return exp
+
+    @pytest.fixture(scope="class")
+    def chunked(self):
+        exp = ChunkQueryExperiment("chunk", SMALL, width=3)
+        exp.load()
+        return exp
+
+    def test_load_is_idempotent(self, conventional):
+        before = conventional.mtd.execute(
+            TENANT, "SELECT COUNT(*) FROM parent"
+        ).rows
+        conventional.load()
+        after = conventional.mtd.execute(
+            TENANT, "SELECT COUNT(*) FROM parent"
+        ).rows
+        assert before == after == [(8,)]
+
+    def test_layouts_agree_on_q2(self, conventional, chunked):
+        sql = q2_sql(6)
+        a = sorted(conventional.mtd.execute(TENANT, sql, [4]).rows)
+        b = sorted(chunked.mtd.execute(TENANT, sql, [4]).rows)
+        assert a == b
+        assert len(a) == 3
+
+    def test_measure_returns_counters(self, chunked):
+        m = chunked.measure(3)
+        assert m.logical_reads > 0
+        assert m.physical_reads == 0  # warm
+        assert m.rows == 3
+
+    def test_cold_measure_pays_physical(self, chunked):
+        m = chunked.measure(3, cold=True)
+        assert m.physical_reads > 0
+
+    def test_grouping_measure(self, chunked, conventional):
+        assert chunked.measure_grouping() > 0
+        assert conventional.measure_grouping() > 0
+
+    def test_labels(self):
+        assert ChunkQueryExperiment("chunk", SMALL, width=6).label == "chunk6"
+        assert (
+            ChunkQueryExperiment("chunk", SMALL, width=6, folded=False).label
+            == "chunk6-vp"
+        )
+        assert ChunkQueryExperiment("private", SMALL).label == "private"
+
+
+class TestManyTablesExperiment:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        experiment = ManyTablesExperiment(
+            tenants=10,
+            sessions=2,
+            actions=60,
+            memory_bytes=2 * 1024 * 1024,
+            variabilities=(0.0, 1.0),
+            data_profile=TenantDataProfile(default_rows=3),
+        )
+        return experiment.run()
+
+    def test_one_row_per_variability(self, rows):
+        assert [r.variability for r in rows] == [0.0, 1.0]
+
+    def test_first_row_is_the_baseline(self, rows):
+        assert rows[0].baseline_compliance == pytest.approx(95.0)
+
+    def test_table_counts(self, rows):
+        assert rows[0].total_tables == 10
+        assert rows[1].total_tables == 100
+
+    def test_figure_series_extractors(self, rows):
+        assert ManyTablesExperiment.figure7a(rows)[0] == (
+            0.0,
+            rows[0].baseline_compliance,
+        )
+        assert len(ManyTablesExperiment.figure7b(rows)) == 2
+        assert len(ManyTablesExperiment.figure7c(rows)[0]) == 3
+
+
+class TestReportRendering:
+    def test_render_table_alignment(self):
+        text = render_table("T", ["a", "bb"], [(1, 22), (333, 4)])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "333" in lines[-1]
+        # Columns align: header and rows have the same width.
+        assert len(lines[2]) == len(lines[-1])
+
+    def test_render_series_numeric_x_order(self):
+        text = render_series(
+            "S", "x", {"y": [(15, 1.0), (3, 2.0), (90, 3.0)]}
+        )
+        body = text.splitlines()[4:]
+        xs = [int(line.split()[0]) for line in body]
+        assert xs == [3, 15, 90]
+
+    def test_render_series_multiple_columns(self):
+        text = render_series(
+            "S", "x", {"a": [(1, 1.0)], "b": [(1, 2.0), (2, 3.0)]}
+        )
+        assert "a" in text and "b" in text

@@ -1,0 +1,65 @@
+"""Tests for the CRM schema (Figure 5) and schema instances."""
+
+from repro.testbed.crm import (
+    CRM_PARENTS,
+    CRM_TABLE_NAMES,
+    REPORTING_INDEXES,
+    crm_extensions,
+    crm_tables,
+    instance_table_name,
+)
+
+
+class TestSchemaShape:
+    def test_ten_tables(self):
+        assert len(CRM_TABLE_NAMES) == 10
+        assert len(crm_tables()) == 10
+
+    def test_about_twenty_columns_each(self):
+        for table in crm_tables():
+            assert 19 <= len(table.columns) <= 21
+
+    def test_every_table_has_entity_id(self):
+        for table in crm_tables():
+            first = table.columns[0]
+            assert first.lname == "id"
+            assert first.indexed and first.not_null
+
+    def test_dag_parents_exist(self):
+        names = set(CRM_TABLE_NAMES)
+        for child, parent in CRM_PARENTS.items():
+            assert child in names and parent in names
+
+    def test_roots_have_no_parent_column(self):
+        by_name = {t.name: t for t in crm_tables()}
+        assert not by_name["campaign"].has_column("parent")
+        assert not by_name["account"].has_column("parent")
+
+    def test_children_have_parent_column(self):
+        by_name = {t.name: t for t in crm_tables()}
+        for child in CRM_PARENTS:
+            assert by_name[child].has_column("parent")
+
+    def test_twelve_reporting_indexes(self):
+        assert len(REPORTING_INDEXES) == 12
+        tables = {t.name: t for t in crm_tables()}
+        for table_name, column in REPORTING_INDEXES:
+            assert tables[table_name].column(column).indexed
+
+
+class TestInstances:
+    def test_instance_zero_uses_plain_names(self):
+        assert instance_table_name("account", 0) == "account"
+
+    def test_instances_are_disjoint(self):
+        names0 = {t.name for t in crm_tables(0)}
+        names1 = {t.name for t in crm_tables(1)}
+        assert names0.isdisjoint(names1)
+
+    def test_instances_same_shape(self):
+        for t0, t1 in zip(crm_tables(0), crm_tables(1)):
+            assert len(t0.columns) == len(t1.columns)
+
+    def test_extensions_reference_instance_tables(self):
+        for extension in crm_extensions(2):
+            assert extension.base_table.endswith("_i2")
