@@ -64,14 +64,23 @@ class TestFigure10:
     def test_index_reads_dominate_for_chunked(self, pool):
         """Paper: 74-80 % of reads were issued by index accesses."""
         exp = pool.experiment("chunk6")
-        db = exp.mtd.db
         sql = exp.mtd.transform_sql(TENANT, q2_sql(45))
-        db.execute(sql, [1])  # warm
-        before = db.pool_stats.snapshot()
-        db.execute(sql, [1])
-        delta = db.pool_stats.delta(before)
-        index_share = delta.logical_index / max(1, delta.logical_total)
-        assert index_share > 0.4
+        exp.mtd.db.execute(sql, [1])  # warm
+        trace = exp.mtd.db.trace(sql, [1])
+        assert trace.index_read_share > 0.4
+        # The measurement harness reports the same share.
+        m = pool.measure("chunk6", 45)
+        assert m.index_read_share > 0.4
+        assert m.index_reads > 0
+
+    def test_measurements_come_from_traces(self, pool):
+        """QueryMeasurement counters equal an independent trace's deltas
+        (warm cache, same parameter -> identical logical reads)."""
+        exp = pool.experiment("chunk6")
+        m = pool.measure("chunk6", 15)
+        trace = exp.trace(15)
+        assert trace.logical_reads == m.logical_reads
+        assert trace.index_reads == m.index_reads
 
     def test_benchmark_counting_overhead(self, benchmark, pool):
         exp = pool.experiment("chunk6")
@@ -80,9 +89,7 @@ class TestFigure10:
         db.execute(sql, [1])
 
         def run_and_count():
-            before = db.pool_stats.snapshot()
-            db.execute(sql, [1])
-            return db.pool_stats.delta(before).logical_total
+            return db.trace(sql, [1], analyze=False).logical_reads
 
         reads = benchmark(run_and_count)
         assert reads > 0

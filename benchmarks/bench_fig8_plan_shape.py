@@ -38,6 +38,19 @@ class TestFigure8:
             "(Q2 scale 3 on Chunk6)\n\n" + render_plan(plan),
         )
 
+    def test_report_analyzed(self, experiment, report):
+        """The same plan annotated with measured per-operator rows and
+        times (EXPLAIN ANALYZE over the chunk-folding layout)."""
+        trace = experiment.trace(3)
+        assert trace.plan is not None
+        report(
+            "fig8_plan_analyzed",
+            "Figure 8 (analyzed): measured operator tree "
+            "(Q2 scale 3 on Chunk6)\n\n" + trace.plan,
+        )
+        for token in ("rows=", "opens=", "time="):
+            assert token in trace.plan
+
     def test_hash_join_in_the_middle(self, plan):
         assert count_operators(plan, "HSJOIN") == 1
 

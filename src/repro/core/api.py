@@ -254,3 +254,21 @@ class MultiTenantDatabase:
     def explain(self, tenant_id: int, sql: str) -> str:
         """Engine plan for the transformed query."""
         return self.db.explain(self.transform_sql(tenant_id, sql))
+
+    def explain_analyze(
+        self, tenant_id: int, sql: str, params: Sequence[object] = ()
+    ) -> str:
+        """Run the transformed query and render the measured plan."""
+        return self.db.explain_analyze(self.transform_sql(tenant_id, sql), params)
+
+    def trace(
+        self, tenant_id: int, sql: str, params: Sequence[object] = ()
+    ):
+        """Per-query engine trace of a logical SELECT (page-read deltas,
+        operator timings) — see :meth:`repro.engine.Database.trace`."""
+        return self.db.trace(self.transform_sql(tenant_id, sql), params)
+
+    @property
+    def metrics(self):
+        """The underlying engine's metrics registry."""
+        return self.db.metrics

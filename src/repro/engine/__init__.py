@@ -26,6 +26,17 @@ from .errors import (  # noqa: F401
 from .executor import ExecStats  # noqa: F401
 from .explain import count_operators, plan_shape, render_plan  # noqa: F401
 from .heap import InsertStrategy, RowId  # noqa: F401
+from .locks import LockStats, LockTable  # noqa: F401
+from .observability import (  # noqa: F401
+    AnalyzeCollector,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    OperatorStats,
+    QueryTrace,
+    render_analyzed_plan,
+)
 from .optimizer import OptimizerProfile, Planner  # noqa: F401
 from .pager import DEFAULT_PAGE_SIZE, BufferPool, PageKind, PoolStats  # noqa: F401
 from .values import (  # noqa: F401

@@ -76,6 +76,7 @@ class BTreeIndex:
         *,
         unique: bool = False,
         prefix_compression: bool = True,
+        metrics=None,
     ) -> None:
         self._pool = pool
         self.segment_id = segment_id
@@ -83,6 +84,15 @@ class BTreeIndex:
         self.prefix_compression = prefix_compression
         self.entry_count = 0
         self.distinct_keys = 0
+        # Per-structure access counters; engine-wide totals additionally
+        # land in the shared registry under btree.*.
+        self.descents = 0
+        self.searches = 0
+        self.prefix_scans = 0
+        self.range_scans = 0
+        self.inserts = 0
+        self.deletes = 0
+        self._metrics = metrics
         # Distinct-count per key prefix length, maintained incrementally
         # (approximate at leaf boundaries).  Drives the optimizer's
         # rows-per-prefix selectivity estimates.
@@ -91,6 +101,11 @@ class BTreeIndex:
         root.payload = _Leaf()
         self._root_id = root.page_id
         self.height = 1
+
+    def _count(self, attribute: str, metric: str) -> None:
+        setattr(self, attribute, getattr(self, attribute) + 1)
+        if self._metrics is not None:
+            self._metrics.counter(metric).inc()
 
     # -- sizing ---------------------------------------------------------
 
@@ -126,6 +141,7 @@ class BTreeIndex:
     def _descend(self, key: tuple) -> tuple[list[int], _Leaf]:
         """Page ids root→leaf for ``key``, plus the leaf payload (each
         level costs exactly one logical index-page read)."""
+        self._count("descents", "btree.descents")
         path = [self._root_id]
         node = self._pool.read(self._root_id).payload
         order = _key_order(key)
@@ -142,6 +158,7 @@ class BTreeIndex:
 
     def search(self, key: tuple) -> list[RowId]:
         """Exact-match lookup; [] when absent."""
+        self._count("searches", "btree.searches")
         _, leaf = self._descend(key)
         order = _key_order(key)
         for k, rids in zip(leaf.keys, leaf.rid_lists):
@@ -152,6 +169,7 @@ class BTreeIndex:
     def scan_prefix(self, prefix: tuple) -> Iterator[tuple[tuple, RowId]]:
         """Yield (key, rid) for every key whose leading columns equal
         ``prefix``, in key order.  An empty prefix scans everything."""
+        self._count("prefix_scans", "btree.prefix_scans")
         n = len(prefix)
         prefix_order = _key_order(prefix)
         if n:
@@ -177,6 +195,7 @@ class BTreeIndex:
         self, low: tuple | None, high: tuple | None
     ) -> Iterator[tuple[tuple, RowId]]:
         """Yield entries with low <= key-prefix <= high (inclusive)."""
+        self._count("range_scans", "btree.range_scans")
         if low:
             path, leaf = self._descend(low)
             page_id: int | None = path[-1]
@@ -209,6 +228,7 @@ class BTreeIndex:
     # -- mutation ------------------------------------------------------------
 
     def insert(self, key: tuple, rid: RowId) -> None:
+        self._count("inserts", "btree.inserts")
         path, leaf = self._descend(key)
         leaf_id = path[-1]
         order = _key_order(key)
@@ -230,6 +250,7 @@ class BTreeIndex:
 
     def delete(self, key: tuple, rid: RowId) -> bool:
         """Remove one (key, rid) pairing; True if something was removed."""
+        self._count("deletes", "btree.deletes")
         path, leaf = self._descend(key)
         leaf_id = path[-1]
         order = _key_order(key)

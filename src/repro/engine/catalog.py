@@ -183,8 +183,10 @@ class Catalog:
         index_metadata_cost: int = INDEX_METADATA_COST,
         insert_strategy: InsertStrategy = InsertStrategy.FIRST_FIT,
         prefix_compression: bool = True,
+        metrics=None,
     ) -> None:
         self._pool = pool
+        self._metrics = metrics
         self._tables: dict[str, Table] = {}
         self._next_segment = 1
         self.table_metadata_cost = table_metadata_cost
@@ -221,7 +223,12 @@ class Catalog:
     def create_table(self, name: str, columns: list[Column]) -> Table:
         if self.has_table(name):
             raise DuplicateObjectError(f"table {name!r} already exists")
-        heap = HeapFile(self._pool, self._next_segment, self.insert_strategy)
+        heap = HeapFile(
+            self._pool,
+            self._next_segment,
+            self.insert_strategy,
+            metrics=self._metrics,
+        )
         self._next_segment += 1
         table = Table(name, columns, heap)
         self._tables[name.lower()] = table
@@ -257,6 +264,7 @@ class Catalog:
             self._next_segment,
             unique=unique,
             prefix_compression=self.prefix_compression,
+            metrics=self._metrics,
         )
         self._next_segment += 1
         info = IndexInfo(

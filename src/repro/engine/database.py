@@ -14,6 +14,8 @@ SQL text plus positional parameters and returns a :class:`Result`.
 
 from __future__ import annotations
 
+import re
+import time
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -27,7 +29,13 @@ from .errors import BudgetExceededError, EngineError, PlanError
 from .executor import ExecStats, Executor
 from .expr import ExprCompiler, Schema, Slot
 from .heap import InsertStrategy
-from .locks import LockTable
+from .locks import LockStats, LockTable
+from .observability import (
+    AnalyzeCollector,
+    MetricsRegistry,
+    QueryTrace,
+    render_analyzed_plan,
+)
 from .optimizer import OptimizerProfile, Planner
 from .pager import DEFAULT_PAGE_SIZE, BufferPool, PoolStats
 from .plan.logical import split_conjuncts
@@ -74,16 +82,21 @@ class Database:
         self.memory_bytes = memory_bytes
         self.page_size = page_size
         self.enforce_budget = enforce_budget
-        self.pool = BufferPool(max(1, memory_bytes // page_size), page_size)
+        #: Engine-wide observability: every subsystem below feeds this.
+        self.metrics = MetricsRegistry()
+        self.pool = BufferPool(
+            max(1, memory_bytes // page_size), page_size, metrics=self.metrics
+        )
         self.catalog = Catalog(
             self.pool,
             table_metadata_cost=table_metadata_cost,
             index_metadata_cost=index_metadata_cost,
             insert_strategy=insert_strategy,
             prefix_compression=prefix_compression,
+            metrics=self.metrics,
         )
-        self.locks = LockTable()
-        self.transactions = TransactionManager()
+        self.locks = LockTable(metrics=self.metrics)
+        self.transactions = TransactionManager(metrics=self.metrics)
         self._planner = Planner(self.catalog, profile, self._execute_subquery)
         self._executor = Executor(self.catalog)
 
@@ -128,9 +141,84 @@ class Database:
 
         return render_plan(self.plan(sql))
 
+    def explain_analyze(self, sql: str, params: Sequence[object] = ()) -> str:
+        """Execute ``sql`` and render its plan annotated with measured
+        per-operator row counts, open counts, and wall times."""
+        trace = self.trace(sql, params, analyze=True)
+        if trace.plan is None:
+            raise PlanError("only SELECT statements can be analyzed")
+        return trace.plan
+
+    # -- tracing -----------------------------------------------------------------
+
+    def trace(
+        self,
+        sql: str,
+        params: Sequence[object] = (),
+        *,
+        analyze: bool = True,
+    ) -> QueryTrace:
+        """Execute one statement and return a :class:`QueryTrace` with
+        the buffer-pool / executor / lock deltas it caused.
+
+        SELECTs additionally capture the EXPLAIN ANALYZE operator tree
+        unless ``analyze=False``.  The experiments build Figure 10 and
+        Table 2 from these traces instead of global counter snapshots.
+        """
+        pool_before = self.pool.stats.snapshot()
+        exec_before = self._executor.stats.snapshot()
+        lock_before = self.locks.stats.snapshot()
+        plan_text: str | None = None
+        operators: list = []
+        started = time.perf_counter()
+
+        stmt = None
+        head = sql.strip().rstrip(";").upper()
+        if head not in ("BEGIN", "BEGIN TRANSACTION", "START TRANSACTION",
+                        "COMMIT", "ROLLBACK"):
+            stmt = parse_statement(sql)
+        if isinstance(stmt, ast.Select):
+            root = self._planner.plan_select(stmt)
+            collector = AnalyzeCollector() if analyze else None
+            rows = self._executor.run(root, params, collector=collector)
+            columns = [slot.name for slot in root.schema.slots]
+            result = Result(columns, rows, len(rows))
+            if collector is not None:
+                plan_text = render_analyzed_plan(root, collector)
+                operators = collector.operators(root)
+        else:
+            result = self.execute(sql, params)
+
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        self.metrics.histogram("db.statement_ms").observe(elapsed_ms)
+        return QueryTrace(
+            sql=sql,
+            params=tuple(params),
+            columns=result.columns,
+            rows=result.rows,
+            rowcount=result.rowcount,
+            elapsed_ms=elapsed_ms,
+            pool=self.pool.stats.delta(pool_before),
+            exec=self._executor.stats.delta(exec_before),
+            locks=self.locks.stats.delta(lock_before),
+            operators=operators,
+            plan=plan_text,
+        )
+
     # -- execution -----------------------------------------------------------------
 
+    _EXPLAIN_RE = re.compile(r"^\s*EXPLAIN(\s+ANALYZE)?\b", re.IGNORECASE)
+
     def execute(self, sql: str, params: Sequence[object] = ()) -> Result:
+        match = self._EXPLAIN_RE.match(sql)
+        if match:
+            body = sql[match.end():].strip()
+            if match.group(1):
+                text = self.explain_analyze(body, params)
+            else:
+                text = self.explain(body)
+            lines = text.splitlines()
+            return Result(["plan"], [(line,) for line in lines], len(lines))
         head = sql.strip().rstrip(";").upper()
         if head in ("BEGIN", "BEGIN TRANSACTION", "START TRANSACTION"):
             self.transactions.begin()

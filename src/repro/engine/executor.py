@@ -95,21 +95,46 @@ class Executor:
     def __init__(self, catalog: Catalog) -> None:
         self._catalog = catalog
         self.stats = ExecStats()
+        #: Active EXPLAIN ANALYZE collector (None when not analyzing).
+        self._collector = None
 
     # -- public -----------------------------------------------------------
 
     def run(
-        self, root: phys.PReturn, params: Sequence[object] = ()
+        self,
+        root: phys.PReturn,
+        params: Sequence[object] = (),
+        *,
+        collector=None,
     ) -> list[tuple]:
+        """Execute a plan.  ``collector`` (an
+        :class:`~repro.engine.observability.AnalyzeCollector`) wraps each
+        operator with row/time accounting for EXPLAIN ANALYZE."""
         self.stats.statements += 1
         cache: dict[int, list[tuple]] = {}
-        rows = list(self._iterate(root.child, (), params, cache))
+        previous, self._collector = self._collector, collector
+        try:
+            rows = list(self._iterate(root, (), params, cache))
+        finally:
+            self._collector = previous
         self.stats.rows_output += len(rows)
         return rows
 
     # -- node dispatch ----------------------------------------------------------
 
     def _iterate(
+        self,
+        node: phys.PNode,
+        outer_row: tuple,
+        params: Sequence[object],
+        cache: dict[int, list[tuple]],
+    ) -> Iterator[tuple]:
+        iterator = self._dispatch(node, outer_row, params, cache)
+        if self._collector is not None:
+            return self._collector.wrap(node, iterator)
+        return iterator
+
+    def _dispatch(
         self,
         node: phys.PNode,
         outer_row: tuple,
@@ -243,7 +268,12 @@ class Executor:
     ) -> Iterator[tuple]:
         table = self._catalog.table(node.table_name)
         child = node.child
-        for _key, rid in self._index_entries(child, outer_row, params):
+        entries = self._index_entries(child, outer_row, params)
+        if self._collector is not None:
+            # Attribute the (key, rid) production to the IXSCAN child so
+            # the analyzed tree shows its row count, not "never executed".
+            entries = self._collector.wrap(child, entries)
+        for _key, rid in entries:
             row = table.heap.fetch(rid)
             self.stats.rows_fetched += 1
             if all(p(row, params) is True for p in child.residual):

@@ -50,6 +50,8 @@ class HeapFile:
         pool: BufferPool,
         segment_id: int,
         strategy: InsertStrategy = InsertStrategy.FIRST_FIT,
+        *,
+        metrics=None,
     ) -> None:
         self._pool = pool
         self.segment_id = segment_id
@@ -59,6 +61,19 @@ class HeapFile:
         # delete; FIRST_FIT scans it for the best (tightest) fit.
         self._free_map: dict[int, int] = {}
         self.row_count = 0
+        # Per-structure access counters (engine-wide totals additionally
+        # land in the shared registry under heap.*).
+        self.fetches = 0
+        self.scans = 0
+        self.inserts = 0
+        self.updates = 0
+        self.deletes = 0
+        self._metrics = metrics
+
+    def _count(self, attribute: str, metric: str) -> None:
+        setattr(self, attribute, getattr(self, attribute) + 1)
+        if self._metrics is not None:
+            self._metrics.counter(metric).inc()
 
     # -- inserts ----------------------------------------------------------
 
@@ -85,6 +100,7 @@ class HeapFile:
         self._free_map[page.page_id] = page.free
         self._pool.mark_dirty(page.page_id)
         self.row_count += 1
+        self._count("inserts", "heap.inserts")
         return RowId(page.page_id, slot_no)
 
     def _choose_page(self, need: int) -> Page | None:
@@ -114,6 +130,7 @@ class HeapFile:
 
     def fetch(self, rid: RowId) -> tuple:
         """Read one row by RID (one logical data-page read)."""
+        self._count("fetches", "heap.fetches")
         page = self._pool.read(rid.page_id)
         slots: list = page.payload
         if rid.slot >= len(slots) or slots[rid.slot] is None:
@@ -122,6 +139,7 @@ class HeapFile:
 
     def scan(self) -> Iterator[tuple[RowId, tuple]]:
         """Full scan in physical order, reading every page once."""
+        self._count("scans", "heap.scans")
         for pid in list(self._page_ids):
             page = self._pool.read(pid)
             for slot_no, entry in enumerate(page.payload):
@@ -132,6 +150,7 @@ class HeapFile:
 
     def update(self, rid: RowId, row: tuple, width: int) -> RowId:
         """Rewrite a row in place; relocate if it no longer fits."""
+        self._count("updates", "heap.updates")
         page = self._pool.read(rid.page_id)
         slots: list = page.payload
         entry = slots[rid.slot]
@@ -151,6 +170,7 @@ class HeapFile:
         return self.insert(row, width)
 
     def delete(self, rid: RowId) -> None:
+        self._count("deletes", "heap.deletes")
         page = self._pool.read(rid.page_id)
         slots: list = page.payload
         entry = slots[rid.slot]

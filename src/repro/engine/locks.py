@@ -20,25 +20,31 @@ from dataclasses import dataclass, field
 
 @dataclass
 class LockStats:
+    """Monotonic lock counters.  ``waits`` counts conflict events that
+    were charged a wait; ``wait_ms`` accumulates the simulated wait
+    durations (Experiment 1's contention penalties)."""
+
     acquisitions: int = 0
     conflicts: int = 0
+    waits: int = 0
+    wait_ms: float = 0.0
 
     def snapshot(self) -> "LockStats":
-        return LockStats(self.acquisitions, self.conflicts)
+        return LockStats(**vars(self))
 
     def delta(self, earlier: "LockStats") -> "LockStats":
         return LockStats(
-            self.acquisitions - earlier.acquisitions,
-            self.conflicts - earlier.conflicts,
+            **{k: getattr(self, k) - getattr(earlier, k) for k in vars(self)}
         )
 
 
 class LockTable:
     """Conflict-accounting lock table (non-blocking)."""
 
-    def __init__(self) -> None:
+    def __init__(self, *, metrics=None) -> None:
         self._holders: dict[object, dict[int, bool]] = {}
         self.stats = LockStats()
+        self._metrics = metrics
 
     def acquire(self, session_id: int, resource: object, *, exclusive: bool) -> int:
         """Record an acquisition; returns the number of conflicting holders."""
@@ -52,7 +58,28 @@ class LockTable:
         holders[session_id] = exclusive or holders.get(session_id, False)
         self.stats.acquisitions += 1
         self.stats.conflicts += conflicts
+        if self._metrics is not None:
+            self._metrics.counter("locks.acquisitions").inc()
+            if conflicts:
+                self._metrics.counter("locks.conflicts").inc(conflicts)
         return conflicts
+
+    def record_wait(self, waits: int, wait_ms: float) -> None:
+        """Charge ``waits`` conflict events totalling ``wait_ms`` of
+        simulated wait time (the testbed's cost model computes the
+        durations; the engine owns the ledger)."""
+        if waits < 0 or wait_ms < 0:
+            raise ValueError("lock waits cannot be negative")
+        if waits == 0:
+            return
+        self.stats.waits += waits
+        self.stats.wait_ms += wait_ms
+        if self._metrics is not None:
+            self._metrics.counter("locks.waits").inc(waits)
+            self._metrics.counter("locks.wait_ms").inc(wait_ms)
+            self._metrics.histogram("locks.wait_duration_ms").observe(
+                wait_ms / waits
+            )
 
     def release_session(self, session_id: int) -> None:
         """Release everything a session holds (end of its action)."""

@@ -1,0 +1,30 @@
+"""Engine-wide observability: metrics registry, query traces, EXPLAIN
+ANALYZE.
+
+Three pieces, layered exactly like the measurements in the paper:
+
+* :mod:`metrics` — a named registry of counters/gauges/histograms fed by
+  every subsystem (buffer pool, heaps, B-trees, locks, transactions,
+  testbed workers).  ``db.metrics`` exposes it.
+* :mod:`trace` — :class:`QueryTrace`, per-statement deltas of the pool /
+  executor / lock counters plus wall time; ``db.trace(sql)`` returns
+  one.  Experiments attribute page reads to individual queries with it
+  (Figure 10, Table 2).
+* :mod:`analyze` — per-operator row counts and timings collected while a
+  plan runs; rendered as the annotated Figure 8 operator tree by
+  ``EXPLAIN ANALYZE`` / ``db.explain_analyze(sql)``.
+"""
+
+from .analyze import (  # noqa: F401
+    AnalyzeCollector,
+    OperatorStats,
+    render_analyzed_plan,
+)
+from .metrics import (  # noqa: F401
+    Counter,
+    Gauge,
+    Histogram,
+    HISTOGRAM_RESERVOIR,
+    MetricsRegistry,
+)
+from .trace import QueryTrace  # noqa: F401

@@ -1,0 +1,194 @@
+"""A process-wide metrics registry: counters, gauges, histograms.
+
+The paper's experiments are all *measurements* — Table 2's hit ratios,
+Figure 10's logical page reads, the response-time quantiles of the
+testbed — so the engine exports every counter it maintains through one
+named registry, in the layered-metrics style of the FoundationDB Record
+Layer.  Every :class:`~repro.engine.database.Database` owns a
+:class:`MetricsRegistry` (``db.metrics``); the buffer pool, heap files,
+B-trees, lock table, transaction manager, and testbed workers all feed
+it, so a production deployment would export exactly the numbers the
+benchmarks report.
+
+Naming convention: dotted lowercase paths, ``<subsystem>.<detail>``,
+e.g. ``pool.data.logical_reads`` or ``locks.wait_ms``.  Histogram names
+end in a unit suffix (``_ms``, ``_rows``) where applicable.
+"""
+
+from __future__ import annotations
+
+from ..errors import EngineError
+
+#: Histograms keep at most this many samples; beyond it the reservoir is
+#: deterministically decimated (every second sample kept, stride
+#: doubled) so long runs stay bounded without losing the distribution's
+#: shape.  Count / sum / min / max stay exact regardless.
+HISTOGRAM_RESERVOIR = 8192
+
+
+class Counter:
+    """A monotonically non-decreasing value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise EngineError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can move both ways (e.g. resident page count)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Sampled distribution with exact count/sum/min/max and approximate
+    percentiles from a deterministic bounded reservoir."""
+
+    __slots__ = ("name", "count", "total", "min", "max", "_samples", "_stride", "_seen")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+        self._samples: list[float] = []
+        self._stride = 1
+        self._seen = 0  # observations since the last kept sample
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        self._seen += 1
+        if self._seen >= self._stride:
+            self._seen = 0
+            self._samples.append(value)
+            if len(self._samples) > HISTOGRAM_RESERVOIR:
+                # Decimate deterministically: keep every second sample.
+                self._samples = self._samples[::2]
+                self._stride *= 2
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile over the reservoir; 0.0 when empty."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = max(0, min(len(ordered) - 1, round(p / 100 * len(ordered)) - 1))
+        return ordered[rank]
+
+    def summary(self) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+
+class MetricsRegistry:
+    """Named metrics for one database instance.
+
+    ``counter`` / ``gauge`` / ``histogram`` get-or-create, so callers
+    never need to pre-register; asking for an existing name with a
+    different type is an error.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, name: str, cls):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise EngineError(
+                f"metric {name!r} is a {type(metric).__name__}, "
+                f"not a {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get_or_create(name, Histogram)
+
+    def get(self, name: str):
+        return self._metrics.get(name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def value(self, name: str, default: float = 0.0) -> float:
+        """Scalar value of a counter/gauge (histograms: the count)."""
+        metric = self._metrics.get(name)
+        if metric is None:
+            return default
+        if isinstance(metric, Histogram):
+            return metric.count
+        return metric.value
+
+    def snapshot(self) -> dict:
+        """A plain-dict view: scalars for counters/gauges, summary dicts
+        for histograms.  Suitable for JSON export or diffing."""
+        out: dict = {}
+        for name in self.names():
+            metric = self._metrics[name]
+            if isinstance(metric, Histogram):
+                out[name] = metric.summary()
+            else:
+                out[name] = metric.value
+        return out
+
+    def render(self, prefix: str = "") -> str:
+        """Plain-text dump of every metric under ``prefix``."""
+        lines: list[str] = []
+        for name in self.names():
+            if prefix and not name.startswith(prefix):
+                continue
+            metric = self._metrics[name]
+            if isinstance(metric, Histogram):
+                s = metric.summary()
+                lines.append(
+                    f"{name}  count={s['count']} mean={s['mean']:.3f} "
+                    f"p50={s['p50']:.3f} p95={s['p95']:.3f} "
+                    f"p99={s['p99']:.3f} max={s['max']:.3f}"
+                )
+            else:
+                value = metric.value
+                text = f"{value:g}" if isinstance(value, float) else str(value)
+                lines.append(f"{name}  {text}")
+        return "\n".join(lines)

@@ -69,6 +69,12 @@ class PoolStats:
     *Logical* reads count every page access; *physical* reads count the
     subset that missed the buffer pool.  The hit ratio is
     ``1 - physical/logical`` as in DB2's bufferpool snapshot.
+
+    Frame drops are attributed by cause: ``evictions`` counts only
+    capacity-pressure LRU victims; drops forced by a pool ``resize()``
+    (the Experiment 1 DDL path) land in ``resize_evictions`` so a delta
+    taken across a resize never charges DDL work to the workload.
+    ``writebacks`` counts dirty frames dropped by any cause.
     """
 
     logical_data: int = 0
@@ -77,6 +83,8 @@ class PoolStats:
     physical_index: int = 0
     writes: int = 0
     evictions: int = 0
+    resize_evictions: int = 0
+    writebacks: int = 0
 
     @property
     def logical_total(self) -> int:
@@ -99,24 +107,12 @@ class PoolStats:
         return 1.0 - physical / logical
 
     def snapshot(self) -> "PoolStats":
-        return PoolStats(
-            self.logical_data,
-            self.logical_index,
-            self.physical_data,
-            self.physical_index,
-            self.writes,
-            self.evictions,
-        )
+        return PoolStats(**vars(self))
 
     def delta(self, earlier: "PoolStats") -> "PoolStats":
         """Counters accumulated since ``earlier`` (a prior snapshot)."""
         return PoolStats(
-            self.logical_data - earlier.logical_data,
-            self.logical_index - earlier.logical_index,
-            self.physical_data - earlier.physical_data,
-            self.physical_index - earlier.physical_index,
-            self.writes - earlier.writes,
-            self.evictions - earlier.evictions,
+            **{k: getattr(self, k) - getattr(earlier, k) for k in vars(self)}
         )
 
 
@@ -136,7 +132,13 @@ class BufferPool:
     root pages during a descent) are never evicted.
     """
 
-    def __init__(self, capacity_pages: int, page_size: int = DEFAULT_PAGE_SIZE):
+    def __init__(
+        self,
+        capacity_pages: int,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        *,
+        metrics=None,
+    ):
         if capacity_pages < 1:
             raise EngineError("buffer pool needs at least one frame")
         self.capacity_pages = capacity_pages
@@ -145,6 +147,31 @@ class BufferPool:
         self._disk: dict[int, Page] = {}
         self._frames: OrderedDict[int, _Frame] = OrderedDict()
         self._next_page_id = 1
+        # Optional MetricsRegistry; counters are pre-bound so the hot
+        # read path pays one attribute check, not a name lookup.
+        self.metrics = metrics
+        if metrics is not None:
+            self._c_logical = {
+                PageKind.DATA: metrics.counter("pool.data.logical_reads"),
+                PageKind.INDEX: metrics.counter("pool.index.logical_reads"),
+            }
+            self._c_physical = {
+                PageKind.DATA: metrics.counter("pool.data.physical_reads"),
+                PageKind.INDEX: metrics.counter("pool.index.physical_reads"),
+            }
+            self._c_writes = metrics.counter("pool.writes")
+            self._c_evictions = metrics.counter("pool.evictions")
+            self._c_resize_evictions = metrics.counter("pool.resize_evictions")
+            self._c_writebacks = metrics.counter("pool.writebacks")
+            self._g_resident = metrics.gauge("pool.resident_pages")
+            self._g_capacity = metrics.gauge("pool.capacity_pages")
+            self._g_capacity.set(capacity_pages)
+        else:
+            self._c_writes = None
+
+    def _sync_resident_gauge(self) -> None:
+        if self.metrics is not None:
+            self._g_resident.set(len(self._frames))
 
     # -- allocation -------------------------------------------------------
 
@@ -155,6 +182,8 @@ class BufferPool:
         self._disk[page.page_id] = page
         self._admit(page)
         self.stats.writes += 1
+        if self._c_writes is not None:
+            self._c_writes.inc()
         return page
 
     def free_segment(self, segment_id: int) -> int:
@@ -163,6 +192,7 @@ class BufferPool:
         for pid in doomed:
             self._frames.pop(pid, None)
             del self._disk[pid]
+        self._sync_resident_gauge()
         return len(doomed)
 
     # -- access -----------------------------------------------------------
@@ -176,12 +206,16 @@ class BufferPool:
             self.stats.logical_data += 1
         else:
             self.stats.logical_index += 1
+        if self._c_writes is not None:
+            self._c_logical[page.kind].inc()
         frame = self._frames.get(page_id)
         if frame is None:
             if page.kind is PageKind.DATA:
                 self.stats.physical_data += 1
             else:
                 self.stats.physical_index += 1
+            if self._c_writes is not None:
+                self._c_physical[page.kind].inc()
             frame = self._admit(page)
         else:
             self._frames.move_to_end(page_id)
@@ -200,19 +234,32 @@ class BufferPool:
         if frame is not None:
             frame.dirty = True
         self.stats.writes += 1
+        if self._c_writes is not None:
+            self._c_writes.inc()
 
     # -- cache control ------------------------------------------------------
 
     def flush(self) -> None:
-        """Empty the pool (cold-cache experiments, Figure 11)."""
+        """Empty the pool (cold-cache experiments, Figure 11).  Dropping
+        dirty frames counts as writebacks but not as evictions — a flush
+        is an experiment control, not capacity pressure."""
+        for frame in self._frames.values():
+            if frame.dirty:
+                self._record_writeback()
         self._frames.clear()
+        self._sync_resident_gauge()
 
     def resize(self, capacity_pages: int) -> None:
-        """Shrink/grow the pool; used when DDL changes the meta-data budget."""
+        """Shrink/grow the pool; used when DDL changes the meta-data
+        budget.  Frames dropped by the shrink are counted under
+        ``resize_evictions`` (not ``evictions``) so workload deltas taken
+        across a resize stay attributable to the workload."""
         if capacity_pages < 1:
             capacity_pages = 1
         self.capacity_pages = capacity_pages
-        self._evict_to_capacity()
+        if self.metrics is not None:
+            self._g_capacity.set(capacity_pages)
+        self._evict_to_capacity(resize=True)
 
     @property
     def resident_pages(self) -> int:
@@ -237,18 +284,35 @@ class BufferPool:
         self._frames[page.page_id] = frame
         self._frames.move_to_end(page.page_id)
         self._evict_to_capacity()
+        self._sync_resident_gauge()
         return frame
 
-    def _evict_to_capacity(self) -> None:
+    def _record_writeback(self) -> None:
+        self.stats.writebacks += 1
+        if self._c_writes is not None:
+            self._c_writebacks.inc()
+
+    def _evict_to_capacity(self, *, resize: bool = False) -> None:
         while len(self._frames) > self.capacity_pages:
             victim_id = None
+            victim = None
             for pid, frame in self._frames.items():
                 if frame.pins == 0:
-                    victim_id = pid
+                    victim_id, victim = pid, frame
                     break
             if victim_id is None:
                 # Everything pinned: allow temporary over-commit rather
                 # than deadlocking the simulation.
                 return
             del self._frames[victim_id]
-            self.stats.evictions += 1
+            if victim.dirty:
+                self._record_writeback()
+            if resize:
+                self.stats.resize_evictions += 1
+                if self._c_writes is not None:
+                    self._c_resize_evictions.inc()
+            else:
+                self.stats.evictions += 1
+                if self._c_writes is not None:
+                    self._c_evictions.inc()
+        self._sync_resident_gauge()

@@ -49,10 +49,11 @@ class _UpdateEntry:
 class TransactionManager:
     """Undo-log bookkeeping for one database."""
 
-    def __init__(self) -> None:
+    def __init__(self, *, metrics=None) -> None:
         self._log: list[object] | None = None
         self.committed = 0
         self.rolled_back = 0
+        self._metrics = metrics
 
     @property
     def active(self) -> bool:
@@ -64,12 +65,16 @@ class TransactionManager:
         if self.active:
             raise EngineError("a transaction is already open")
         self._log = []
+        if self._metrics is not None:
+            self._metrics.counter("txn.begun").inc()
 
     def commit(self) -> None:
         if not self.active:
             raise EngineError("no open transaction to commit")
         self._log = None
         self.committed += 1
+        if self._metrics is not None:
+            self._metrics.counter("txn.committed").inc()
 
     def commit_if_active(self) -> None:
         if self.active:
@@ -79,6 +84,9 @@ class TransactionManager:
         if self._log is None:
             raise EngineError("no open transaction to roll back")
         log, self._log = self._log, None
+        if self._metrics is not None:
+            self._metrics.counter("txn.rolled_back").inc()
+            self._metrics.histogram("txn.undo_entries").observe(len(log))
         remap: dict[tuple[int, RowId], RowId] = {}
 
         def resolve(table: "Table", rid: RowId) -> RowId:

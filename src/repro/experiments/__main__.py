@@ -116,9 +116,12 @@ def run_fig8(args) -> str:
     plan = experiment.mtd.db.plan(
         experiment.mtd.transform_sql(TENANT, q2_sql(3))
     )
+    trace = experiment.trace(3)
     return (
         "Figure 8: Join plan for simple fragment query (Q2 scale 3, Chunk6)\n\n"
         + render_plan(plan)
+        + "\n\nEXPLAIN ANALYZE (measured rows/opens/times):\n\n"
+        + (trace.plan or "")
     )
 
 
@@ -133,11 +136,17 @@ def run_fig9(args) -> str:
 
 def run_fig10(args) -> str:
     sweep = _Sweep(args)
-    return render_series(
+    reads = render_series(
         "Figure 10: Number of logical page reads",
         "q2_scale",
         sweep.series(lambda m: m.logical_reads),
     )
+    share = render_series(
+        "Figure 10 (companion): share of reads issued by index accesses [%]",
+        "q2_scale",
+        sweep.series(lambda m: 100.0 * m.index_read_share),
+    )
+    return reads + "\n\n" + share
 
 
 def run_fig11(args) -> str:

@@ -97,7 +97,11 @@ class ChunkQueryConfig:
 
 @dataclass
 class QueryMeasurement:
-    """Counters and simulated times for one (layout, scale) point."""
+    """Counters and simulated times for one (layout, scale) point.
+
+    Built from per-query :class:`~repro.engine.observability.QueryTrace`
+    deltas, so the counts are attributable to Q2 alone even on a shared
+    database instance."""
 
     layout: str
     scale: int
@@ -105,6 +109,8 @@ class QueryMeasurement:
     physical_reads: int
     warm_ms: float
     rows: int
+    index_reads: int = 0
+    index_read_share: float = 0.0
 
 
 class ChunkQueryExperiment:
@@ -194,26 +200,21 @@ class ChunkQueryExperiment:
         """
         self.load()
         db = self.mtd.db
-        sql = q2_sql(scale)
+        physical_sql = self.mtd.transform_sql(TENANT, q2_sql(scale))
         parent_id = 1 + (self.config.seed % self.config.parents)
         if not cold:
             self.warm_up(scale, parent_id)
-        logical = physical = rows = 0
+        logical = physical = index = rows = 0
         ms = 0.0
         for _ in range(repetitions):
             if cold:
                 db.flush_cache()
-            pool_before = db.pool_stats.snapshot()
-            exec_before = db.exec_stats.snapshot()
-            result = db.execute(
-                self.mtd.transform_sql(TENANT, sql), [parent_id]
-            )
-            pool_delta = db.pool_stats.delta(pool_before)
-            exec_delta = db.exec_stats.delta(exec_before)
-            logical += pool_delta.logical_total
-            physical += pool_delta.physical_total
-            rows = len(result.rows)
-            ms += self.cost_model.response_ms(pool_delta, exec_delta)
+            trace = db.trace(physical_sql, [parent_id], analyze=False)
+            logical += trace.logical_reads
+            physical += trace.physical_reads
+            index += trace.index_reads
+            rows = trace.rowcount
+            ms += self.cost_model.response_ms(trace.pool, trace.exec)
         return QueryMeasurement(
             layout=self.label,
             scale=scale,
@@ -221,7 +222,20 @@ class ChunkQueryExperiment:
             physical_reads=physical // repetitions,
             warm_ms=ms / repetitions,
             rows=rows,
+            index_reads=index // repetitions,
+            index_read_share=index / logical if logical else 0.0,
         )
+
+    def trace(self, scale: int, *, warm: bool = True):
+        """One fully analyzed :class:`QueryTrace` of Q2 at ``scale``
+        (per-operator rows/timings included) — the Figure 8 annotated
+        plan comes from this."""
+        self.load()
+        physical_sql = self.mtd.transform_sql(TENANT, q2_sql(scale))
+        parent_id = 1 + (self.config.seed % self.config.parents)
+        if warm:
+            self.warm_up(scale, parent_id)
+        return self.mtd.db.trace(physical_sql, [parent_id])
 
     @staticmethod
     def grouping_sql(data_columns: int = 90) -> str:
@@ -248,11 +262,6 @@ class ChunkQueryExperiment:
         db.execute(physical_sql)  # warm
         ms = 0.0
         for _ in range(repetitions):
-            pool_before = db.pool_stats.snapshot()
-            exec_before = db.exec_stats.snapshot()
-            db.execute(physical_sql)
-            ms += self.cost_model.response_ms(
-                db.pool_stats.delta(pool_before),
-                db.exec_stats.delta(exec_before),
-            )
+            trace = db.trace(physical_sql, analyze=False)
+            ms += self.cost_model.response_ms(trace.pool, trace.exec)
         return ms / repetitions

@@ -95,6 +95,7 @@ class Testbed:
         self.variability = VariabilityConfig(config.variability, config.tenants)
         self.tenant_instance = distribute_tenants(self.variability)
         self.mtd: MultiTenantDatabase | None = None
+        self._pool_before = None
 
     # -- setup -------------------------------------------------------------
 
@@ -141,8 +142,9 @@ class Testbed:
             seed=config.seed + 2,
         )
         sessions = [Session(i) for i in range(config.sessions)]
-        # Reset counters so the run measures steady-state work, not
-        # the data load.
+        # Snapshot the pool counters so metrics() reports the run window
+        # (steady-state work), not the data load.
+        self._pool_before = self.mtd.db.pool_stats.snapshot()
         controller = Controller(worker, deck, sessions)
         results = controller.run()
         return results.strip_ramp_up(config.ramp_up_fraction)
@@ -156,6 +158,8 @@ class Testbed:
     ) -> RunMetrics:
         assert self.mtd is not None
         pool = self.mtd.db.pool_stats
+        if self._pool_before is not None:
+            pool = pool.delta(self._pool_before)
         quantiles = results.quantiles(0.95)
         compliance = (
             results.baseline_compliance(baseline) if baseline else 95.0

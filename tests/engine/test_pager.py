@@ -102,6 +102,71 @@ class TestEviction:
         assert pool.stats.physical_data == 0
 
 
+class TestResizeAccounting:
+    """Regression: frame drops forced by resize() must not pollute the
+    workload's eviction counter, so deltas taken across a resize (the
+    Experiment 1 DDL path) stay attributable to the workload."""
+
+    def test_resize_drops_count_separately(self):
+        pool = make_pool(capacity=4)
+        for _ in range(4):
+            pool.allocate(1, PageKind.DATA)
+        before = pool.stats.snapshot()
+        pool.resize(1)
+        delta = pool.stats.delta(before)
+        assert delta.evictions == 0
+        assert delta.resize_evictions == 3
+        # Every PoolStats counter stays non-negative across the resize.
+        assert all(value >= 0 for value in vars(delta).values())
+
+    def test_capacity_evictions_still_counted(self):
+        pool = make_pool(capacity=2)
+        for _ in range(3):
+            pool.allocate(1, PageKind.DATA)
+        assert pool.stats.evictions == 1
+        assert pool.stats.resize_evictions == 0
+
+    def test_dirty_victims_count_writebacks(self):
+        pool = make_pool(capacity=4)
+        pages = [pool.allocate(1, PageKind.DATA) for _ in range(4)]
+        for page in pages:
+            pool.mark_dirty(page.page_id)
+        pool.resize(2)
+        assert pool.stats.writebacks == 2
+        pool.flush()
+        assert pool.stats.writebacks == 4
+
+    def test_workload_delta_across_ddl_resize(self):
+        """The end-to-end shape of the bug: a measurement window that
+        spans a DDL-triggered pool shrink must see only the workload's
+        own evictions."""
+        pool = make_pool(capacity=8)
+        pages = [pool.allocate(1, PageKind.DATA) for _ in range(8)]
+        before = pool.stats.snapshot()
+        pool.resize(4)  # DDL ate the buffer pool mid-window
+        for page in pages:
+            pool.read(page.page_id)
+        delta = pool.stats.delta(before)
+        assert delta.resize_evictions == 4
+        # Sequential re-reads through a 4-frame pool thrash: every read
+        # misses and evicts the page about to be read next.  Those 8
+        # capacity evictions belong to the workload and stay separate
+        # from the 4 the resize caused.
+        assert delta.evictions == 8
+        assert delta.physical_data == 8
+        assert delta.logical_data == 8
+
+    def test_grow_resize_evicts_nothing(self):
+        pool = make_pool(capacity=2)
+        for _ in range(2):
+            pool.allocate(1, PageKind.DATA)
+        before = pool.stats.snapshot()
+        pool.resize(8)
+        delta = pool.stats.delta(before)
+        assert delta.resize_evictions == 0
+        assert delta.evictions == 0
+
+
 class TestHitRatio:
     def test_perfect_hit_ratio(self):
         pool = make_pool()
