@@ -28,19 +28,25 @@ from ..engine.errors import PlanError
 from ..engine.optimizer import OptimizerProfile
 from ..engine.sql import ast
 from ..engine.sql.parser import parse_statement
+from ..engine.statement_cache import LruCache, count_params
 from ..engine.values import parse_type
 from .layouts import make_layout
 from .layouts.base import Layout
 from .metadata import MetadataReport
 from .migration import Migrator
 from .schema import Extension, LogicalColumn, LogicalTable, MultiTenantSchema
+from .statement_cache import (
+    CachedStatement,
+    LogicalPreparedStatement,
+    StatementCache,
+)
 from .transform.dml import DmlTransformer, UpdateMode
 from .transform.flatten import (
     PredicateOrder,
     flatten_transformed,
     order_predicates,
 )
-from .transform.query import QueryTransformer
+from .transform.query import QueryTransformer, TenantParamAllocator
 
 
 class MultiTenantDatabase:
@@ -61,6 +67,7 @@ class MultiTenantDatabase:
         flatten_for_simple: bool = True,
         predicate_order: PredicateOrder = PredicateOrder.ORIGINAL_FIRST,
         update_mode: UpdateMode = UpdateMode.BUFFERED,
+        statement_cache_size: int = 256,
         **layout_options,
     ) -> None:
         self.db = db if db is not None else Database()
@@ -72,6 +79,14 @@ class MultiTenantDatabase:
         self.update_mode = update_mode
         self._overrides: dict[int, Layout] = {}
         self._migrator = Migrator(self.schema)
+        #: Shape-keyed transformed statements; ``statement_cache_size=0``
+        #: disables all caching at this layer (every call re-transforms).
+        self._statements = StatementCache(statement_cache_size, self.db.metrics)
+        self._parses = LruCache(statement_cache_size)
+        #: One QueryTransformer/DmlTransformer per layout instance.
+        self._transformers: dict[
+            int, tuple[Layout, QueryTransformer, DmlTransformer]
+        ] = {}
 
     # -- schema administration ------------------------------------------------
 
@@ -80,11 +95,13 @@ class MultiTenantDatabase:
         self.schema.add_table(table)
         for layout in self._all_layouts():
             layout.on_table_added(table)
+        self._invalidate_statements()
 
     def define_extension(self, extension: Extension) -> None:
         self.schema.add_extension(extension)
         for layout in self._all_layouts():
             layout.on_extension_added(extension)
+        self._invalidate_statements()
 
     def create_tenant(self, tenant_id: int, extensions: Sequence[str] = ()) -> None:
         config = self.schema.add_tenant(tenant_id, tuple(extensions))
@@ -106,10 +123,11 @@ class MultiTenantDatabase:
                         else ast.BinaryOp("AND", predicate, conjunct)
                     )
                 if predicate is not None:
-                    self.db.execute(ast.Delete(fragment.table, predicate).sql())
+                    self.db.execute_ast(ast.Delete(fragment.table, predicate))
         config = self.schema.remove_tenant(tenant_id)
         layout.on_tenant_removed(config)
         self._overrides.pop(tenant_id, None)
+        self._invalidate_statements()
 
     def grant_extension(self, tenant_id: int, extension_name: str) -> None:
         """Subscribe a tenant to an extension while the system is online."""
@@ -117,6 +135,7 @@ class MultiTenantDatabase:
         self.layout_for(tenant_id).on_extension_granted(
             self.schema.tenant(tenant_id), self.schema.extension(extension_name)
         )
+        self._invalidate_statements()
 
     def alter_extension(
         self, extension_name: str, new_columns: Sequence[LogicalColumn]
@@ -130,6 +149,7 @@ class MultiTenantDatabase:
         )
         for layout in self._all_layouts():
             layout.on_extension_altered(altered, tuple(new_columns))
+        self._invalidate_statements()
 
     # -- per-tenant layout overrides (on-the-fly migration) ----------------------
 
@@ -161,9 +181,40 @@ class MultiTenantDatabase:
         target.on_tenant_added(self.schema.tenant(tenant_id))
         moved = self._migrator.migrate_tenant(tenant_id, source, target)
         self._overrides[tenant_id] = target
+        self._invalidate_statements()
         return moved
 
     # -- statements -----------------------------------------------------------------
+
+    def _invalidate_statements(self) -> None:
+        """Schema administration changed tenant shapes or physical
+        structure: drop every cached transformed statement (and the
+        per-layout transformer memo — override layouts may be gone)."""
+        self._statements.invalidate_all()
+        self._transformers.clear()
+
+    def _transformer_for(
+        self, layout: Layout
+    ) -> tuple[QueryTransformer, DmlTransformer]:
+        """The memoized transformer pair for one layout instance."""
+        entry = self._transformers.get(id(layout))
+        if entry is None or entry[0] is not layout:
+            entry = (
+                layout,
+                QueryTransformer(layout, self.schema),
+                DmlTransformer(layout, self.schema),
+            )
+            self._transformers[id(layout)] = entry
+        return entry[1], entry[2]
+
+    def _parse_logical(self, sql: str) -> ast.Statement:
+        """Parse logical SQL, reusing the AST for repeated texts (the
+        nodes are frozen dataclasses, safe to share)."""
+        stmt = self._parses.get(sql)
+        if stmt is None:
+            stmt = parse_statement(sql)
+            self._parses.put(sql, stmt)
+        return stmt
 
     def transform_sql(self, tenant_id: int, sql: str) -> str:
         """The physical SQL a logical SELECT turns into (step 4 output,
@@ -173,9 +224,16 @@ class MultiTenantDatabase:
             raise PlanError("transform_sql takes a SELECT")
         return self._physical_select(tenant_id, stmt).sql()
 
-    def _physical_select(self, tenant_id: int, stmt: ast.Select) -> ast.Select:
-        transformer = QueryTransformer(self.layout_for(tenant_id), self.schema)
-        physical = transformer.transform_select(tenant_id, stmt)
+    def _physical_select(
+        self,
+        tenant_id: int,
+        stmt: ast.Select,
+        tenant_params: TenantParamAllocator | None = None,
+    ) -> ast.Select:
+        transformer, _ = self._transformer_for(self.layout_for(tenant_id))
+        physical = transformer.transform_select(
+            tenant_id, stmt, tenant_params=tenant_params
+        )
         if (
             self.db.profile is OptimizerProfile.SIMPLE
             and self.flatten_for_simple
@@ -187,17 +245,65 @@ class MultiTenantDatabase:
     def _physical_lookup(self, table_name: str) -> list[str]:
         return [c.lname for c in self.db.catalog.table(table_name).columns]
 
+    def _statement_context(self) -> tuple:
+        """Everything besides (sql, layout, shape) that shapes the
+        transformed statement; a cached entry built under a different
+        context is rebuilt."""
+        return (self.db.profile, self.flatten_for_simple, self.predicate_order)
+
+    def _cached_select(
+        self, tenant_id: int, sql: str, stmt: ast.Select, layout: Layout
+    ) -> CachedStatement | None:
+        """The shape-shared cache entry for one logical SELECT, built on
+        demand; ``None`` when caching is disabled."""
+        if not self._statements.enabled:
+            return None
+        key = (sql, id(layout), layout.statement_shape(tenant_id))
+        context = self._statement_context()
+        entry = self._statements.lookup(key, context)
+        if entry is not None:
+            return entry
+        tenant_params = TenantParamAllocator(count_params(stmt))
+        physical = self._physical_select(tenant_id, stmt, tenant_params)
+        entry = CachedStatement(
+            self.db.prepare_ast(physical), tenant_params, context
+        )
+        self._statements.store(key, entry)
+        return entry
+
+    def prepare(self, sql: str) -> LogicalPreparedStatement:
+        """Prepare a logical statement for repeated execution.
+
+        The handle is tenant-agnostic: ``handle.execute(tenant_id,
+        params)`` serves any tenant, reusing one transformed physical
+        statement per schema shape underneath.
+        """
+        return LogicalPreparedStatement(self, sql, self._parse_logical(sql))
+
     def execute(
         self, tenant_id: int, sql: str, params: Sequence[object] = ()
     ) -> Result:
         """Run a logical statement on behalf of a tenant."""
+        return self._execute_parsed(
+            tenant_id, sql, self._parse_logical(sql), params
+        )
+
+    def _execute_parsed(
+        self,
+        tenant_id: int,
+        sql: str,
+        stmt: ast.Statement,
+        params: Sequence[object],
+    ) -> Result:
         self.schema.tenant(tenant_id)  # validates
-        stmt = parse_statement(sql)
         layout = self.layout_for(tenant_id)
         if isinstance(stmt, ast.Select):
+            cached = self._cached_select(tenant_id, sql, stmt, layout)
+            if cached is not None:
+                return cached.execute(tenant_id, params)
             physical = self._physical_select(tenant_id, stmt)
-            return self.db.execute(physical.sql(), params)
-        dml = DmlTransformer(layout, self.schema)
+            return self.db.execute_ast(physical, params)
+        _, dml = self._transformer_for(layout)
         if isinstance(stmt, ast.Insert):
             count = dml.insert(tenant_id, stmt, params)
             return Result([], [], count)
@@ -233,17 +339,17 @@ class MultiTenantDatabase:
     ) -> int:
         """Insert one logical row from a mapping; returns its Row id."""
         self.schema.tenant(tenant_id)
-        dml = DmlTransformer(self.layout_for(tenant_id), self.schema)
+        _, dml = self._transformer_for(self.layout_for(tenant_id))
         return dml.insert_values(tenant_id, table_name, values, row_id=row_id)
 
     def restore(self, tenant_id: int, table_name: str, row_ids: list[int]) -> int:
         """Bring soft-deleted rows back from the Trashcan."""
-        dml = DmlTransformer(self.layout_for(tenant_id), self.schema)
+        _, dml = self._transformer_for(self.layout_for(tenant_id))
         return dml.restore(tenant_id, table_name, row_ids)
 
     def purge_trashcan(self, tenant_id: int, table_name: str) -> int:
         """Physically delete a tenant's soft-deleted rows."""
-        dml = DmlTransformer(self.layout_for(tenant_id), self.schema)
+        _, dml = self._transformer_for(self.layout_for(tenant_id))
         return dml.purge_trashcan(tenant_id, table_name)
 
     # -- introspection ------------------------------------------------------------

@@ -30,6 +30,10 @@ from ..schema import Extension, LogicalColumn, LogicalTable, MultiTenantSchema, 
 ROW = "row"
 #: Name of the soft-delete marker column (Trashcan support, §6.3).
 ALIVE = "alive"
+#: Name of the tenant-identifying meta-data column.  Query
+#: transformation replaces equality filters on this column with
+#: parameters when building shape-shared cached statements.
+TENANT_META = "tenant"
 
 
 @dataclass(frozen=True)
@@ -74,6 +78,12 @@ class Layout(abc.ABC):
     name: str = "abstract"
     #: Whether the layout supports tenant-specific extensions at all.
     supports_extensions: bool = True
+    #: Whether tenants with the same extension set produce structurally
+    #: identical fragments, differing only in the ``TENANT_META`` value.
+    #: Such layouts share cached transformed statements across tenants
+    #: (Table 1: many tenants, few distinct schema shapes); layouts with
+    #: per-tenant physical structure (Private Tables) must not.
+    shares_statements: bool = False
 
     def __init__(
         self,
@@ -180,6 +190,20 @@ class Layout(abc.ABC):
         when a query touches no columns at all (e.g. ``COUNT(*)``), and
         row-alignment joins chain off it.
         """
+
+    def statement_shape(self, tenant_id: int) -> tuple:
+        """Cache identity of this tenant's transformed statements.
+
+        Tenants returning equal shapes reuse each other's cached
+        physical statements, with the tenant id bound as a parameter at
+        execution time.  Shape-sharing layouts collapse onto the
+        tenant's extension set — the paper's observation that thousands
+        of tenants exhibit only a handful of schema shapes; the default
+        is the always-safe per-tenant key.
+        """
+        if self.shares_statements:
+            return ("shape", frozenset(self.schema.tenant(tenant_id).extensions))
+        return ("tenant", tenant_id)
 
     # -- helpers shared by concrete layouts --------------------------------------
 

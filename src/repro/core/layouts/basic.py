@@ -15,6 +15,7 @@ from .base import ColumnLoc, Fragment, Layout
 class BasicLayout(Layout):
     name = "basic"
     supports_extensions = False
+    shares_statements = True
 
     def physical_name(self, table_name: str) -> str:
         return f"{table_name.lower()}_shared"

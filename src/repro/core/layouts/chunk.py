@@ -36,6 +36,7 @@ from .base import (
 
 class ChunkTableLayout(Layout):
     name = "chunk"
+    shares_statements = True
 
     def __init__(
         self,
@@ -58,6 +59,11 @@ class ChunkTableLayout(Layout):
         #: number of distinct Chunk Tables at the price of NULL padding.
         self.cover_shapes = cover_shapes
         self._partitions: dict[tuple[int, str], list[ChunkAssignment]] = {}
+        #: Tenants whose partitions were extended in place by an ALTER
+        #: (appended chunks): their fragments diverge from fresh tenants
+        #: with the same extension set, so they must not share cached
+        #: statements with them.
+        self._legacy_tenants: set[int] = set()
 
     # -- partitioning ------------------------------------------------------
 
@@ -87,6 +93,7 @@ class ChunkTableLayout(Layout):
             cached = self._partitions.get(key)
             if cached is None:
                 continue  # will be computed fresh from the new schema
+            self._legacy_tenants.add(tenant_id)
             start = len(cached)
             appended = [
                 ChunkAssignment(
@@ -104,8 +111,14 @@ class ChunkTableLayout(Layout):
 
     def on_tenant_removed(self, config: TenantConfig) -> None:
         super().on_tenant_removed(config)
+        self._legacy_tenants.discard(config.tenant_id)
         for key in [k for k in self._partitions if k[0] == config.tenant_id]:
             del self._partitions[key]
+
+    def statement_shape(self, tenant_id: int) -> tuple:
+        if tenant_id in self._legacy_tenants:
+            return ("tenant", tenant_id)
+        return super().statement_shape(tenant_id)
 
     # -- physical tables ---------------------------------------------------------
 

@@ -15,6 +15,7 @@ from .base import ColumnLoc, Fragment, Layout, ROW
 
 class ExtensionTableLayout(Layout):
     name = "extension"
+    shares_statements = True
 
     def base_physical(self, table_name: str) -> str:
         return f"{table_name.lower()}_ext"

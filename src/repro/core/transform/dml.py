@@ -249,7 +249,7 @@ class DmlTransformer:
                 names.append(loc.physical)
                 exprs.append(ast.Literal(value))
             stmt = ast.Insert(fragment.table, tuple(names), (tuple(exprs),))
-            self.db.execute(stmt.sql())
+            self.db.execute_ast(stmt)
         return row_id
 
     def insert(self, tenant_id: int, stmt: ast.Insert, params=()) -> int:
@@ -306,7 +306,7 @@ class DmlTransformer:
         select = ast.Select(
             items=tuple(items), sources=(recon,), where=outer_where
         )
-        result = self.db.execute(select.sql())
+        result = self.db.execute_ast(select)
         rows = []
         for values in result.rows:
             record = {ROW_ALIAS: values[0]}
@@ -395,7 +395,7 @@ class DmlTransformer:
             for name, expr in assignments
         )
         update = ast.Update(fragment.table, sets, self._direct_where(fragment, where))
-        return self.db.execute(update.sql()).rowcount
+        return self.db.execute_ast(update).rowcount
 
     def _direct_delete(self, fragment: Fragment, where) -> int:
         predicate = self._direct_where(fragment, where)
@@ -405,7 +405,7 @@ class DmlTransformer:
             )
         else:
             statement = ast.Delete(fragment.table, predicate)
-        return self.db.execute(statement.sql()).rowcount
+        return self.db.execute_ast(statement).rowcount
 
     def _fragments_with(self, tenant_id: int, table_name: str, columns: set[str]):
         return [
@@ -452,13 +452,13 @@ class DmlTransformer:
                     sets,
                     self._fragment_row_predicate(fragment, [record[ROW_ALIAS]]),
                 )
-                self.db.execute(update.sql())
+                self.db.execute_ast(update)
             count += 1
         return count
 
     def _update_subquery(self, tenant_id, table_name, assignments, where) -> int:
         phase_a = self._phase_a_subquery(tenant_id, table_name, where)
-        count = self.db.execute(phase_a.sql()).rowcount
+        count = self.db.execute_ast(phase_a).rowcount
         if count == 0:
             return 0
         targets = self._fragments_with(
@@ -485,7 +485,7 @@ class DmlTransformer:
                 else ast.BinaryOp("AND", predicate, membership)
             )
             update = ast.Update(fragment.table, tuple(sets), predicate)
-            self.db.execute(update.sql())
+            self.db.execute_ast(update)
         return count
 
     def _localize(self, expr: ast.Expr, column_map) -> ast.Expr:
@@ -563,7 +563,7 @@ class DmlTransformer:
                     )
                 else:
                     statement = ast.Delete(fragment.table, predicate)
-                self.db.execute(statement.sql())
+                self.db.execute_ast(statement)
         return len(row_ids)
 
     def purge_trashcan(self, tenant_id: int, table_name: str) -> int:
@@ -581,8 +581,8 @@ class DmlTransformer:
                 if predicate is None
                 else ast.BinaryOp("AND", predicate, dead)
             )
-            count = self.db.execute(
-                ast.Delete(fragment.table, predicate).sql()
+            count = self.db.execute_ast(
+                ast.Delete(fragment.table, predicate)
             ).rowcount
             if i == 0:
                 purged = count
@@ -600,7 +600,7 @@ class DmlTransformer:
                     ((ALIVE, ast.Literal(1)),),
                     self._fragment_row_predicate(fragment, batch),
                 )
-                self.db.execute(update.sql())
+                self.db.execute_ast(update)
         return len(row_ids)
 
     # -- predicates over fragments -------------------------------------------------

@@ -27,12 +27,37 @@ from ...engine.plan.logical import (
     qualify_block,
 )
 from ...engine.sql import ast
-from ..layouts.base import ALIVE, Fragment
+from ..layouts.base import ALIVE, Fragment, TENANT_META
 from ..schema import MultiTenantSchema
 
 #: Output column name carrying the logical Row id in reconstructions
 #: built for DML (phase (a) of §6.3).
 ROW_ALIAS = "__row"
+
+
+class TenantParamAllocator:
+    """Allocates parameter slots for tenant-identity meta values.
+
+    When a transformed statement is built for the statement cache, every
+    ``tenant = <id>`` meta-data filter takes a fresh ``?`` slot instead
+    of a literal, so one cached statement serves every tenant of the
+    same shape.  Slots start after the logical statement's own
+    parameters; at execution time the tenant id is appended ``count``
+    times to the caller's parameter list.
+    """
+
+    def __init__(self, base_params: int) -> None:
+        self.base_params = base_params
+        self.count = 0
+
+    def allocate(self) -> ast.Param:
+        param = ast.Param(self.base_params + self.count)
+        self.count += 1
+        return param
+
+    def bind(self, params, tenant_id: int) -> tuple:
+        """The physical parameter list for one execution."""
+        return tuple(params[: self.base_params]) + (tenant_id,) * self.count
 
 
 def used_columns(block: QueryBlock) -> dict[str, list[str]]:
@@ -86,6 +111,7 @@ def build_reconstruction(
     include_row: bool = False,
     soft_delete: bool = False,
     all_fragments: bool = False,
+    tenant_params: TenantParamAllocator | None = None,
 ) -> ast.SubquerySource:
     """The table-reconstruction query for one logical source (step 3).
 
@@ -162,10 +188,13 @@ def build_reconstruction(
     for fragment in needed:
         alias = aliases[id(fragment)]
         for meta_col, value in fragment.meta:
+            rhs: ast.Expr
+            if tenant_params is not None and meta_col == TENANT_META:
+                rhs = tenant_params.allocate()
+            else:
+                rhs = ast.Literal(value)
             conjuncts.append(
-                ast.BinaryOp(
-                    "=", ast.ColumnRef(alias, meta_col), ast.Literal(value)
-                )
+                ast.BinaryOp("=", ast.ColumnRef(alias, meta_col), rhs)
             )
         if soft_delete:
             conjuncts.append(
@@ -198,45 +227,65 @@ class QueryTransformer:
         self.layout = layout
         self.schema = schema
 
-    def transform_predicate(self, tenant_id: int, expr: ast.Expr) -> ast.Expr:
+    def transform_predicate(
+        self,
+        tenant_id: int,
+        expr: ast.Expr,
+        tenant_params: TenantParamAllocator | None = None,
+    ) -> ast.Expr:
         """Transform ``IN (SELECT ...)`` subqueries inside a predicate."""
         if isinstance(expr, ast.InSubquery):
             return ast.InSubquery(
-                self.transform_predicate(tenant_id, expr.operand),
-                self.transform_select(tenant_id, expr.subquery),
+                self.transform_predicate(tenant_id, expr.operand, tenant_params),
+                self.transform_select(
+                    tenant_id, expr.subquery, tenant_params=tenant_params
+                ),
                 expr.negated,
             )
         if isinstance(expr, ast.BinaryOp):
             return ast.BinaryOp(
                 expr.op,
-                self.transform_predicate(tenant_id, expr.left),
-                self.transform_predicate(tenant_id, expr.right),
+                self.transform_predicate(tenant_id, expr.left, tenant_params),
+                self.transform_predicate(tenant_id, expr.right, tenant_params),
             )
         if isinstance(expr, ast.UnaryOp):
             return ast.UnaryOp(
-                expr.op, self.transform_predicate(tenant_id, expr.operand)
+                expr.op,
+                self.transform_predicate(tenant_id, expr.operand, tenant_params),
             )
         if isinstance(expr, ast.IsNull):
             return ast.IsNull(
-                self.transform_predicate(tenant_id, expr.operand), expr.negated
+                self.transform_predicate(tenant_id, expr.operand, tenant_params),
+                expr.negated,
             )
         if isinstance(expr, ast.FuncCall):
             return ast.FuncCall(
                 expr.name,
-                tuple(self.transform_predicate(tenant_id, a) for a in expr.args),
+                tuple(
+                    self.transform_predicate(tenant_id, a, tenant_params)
+                    for a in expr.args
+                ),
                 expr.star,
                 expr.distinct,
             )
         if isinstance(expr, ast.InList):
             return ast.InList(
-                self.transform_predicate(tenant_id, expr.operand),
-                tuple(self.transform_predicate(tenant_id, i) for i in expr.items),
+                self.transform_predicate(tenant_id, expr.operand, tenant_params),
+                tuple(
+                    self.transform_predicate(tenant_id, i, tenant_params)
+                    for i in expr.items
+                ),
                 expr.negated,
             )
         return expr
 
     def transform_select(
-        self, tenant_id: int, select: ast.Select, *, include_row: bool = False
+        self,
+        tenant_id: int,
+        select: ast.Select,
+        *,
+        include_row: bool = False,
+        tenant_params: TenantParamAllocator | None = None,
     ) -> ast.Select:
         """Steps 1–4 for one statement (recursing into logical FROM
         subqueries)."""
@@ -246,7 +295,9 @@ class QueryTransformer:
         sources: list[ast.Source] = []
         for source in block.sources:
             if isinstance(source, ast.SubquerySource):
-                inner = self.transform_select(tenant_id, source.select)
+                inner = self.transform_select(
+                    tenant_id, source.select, tenant_params=tenant_params
+                )
                 sources.append(ast.SubquerySource(inner, source.alias))
                 continue
             if not self.schema.has_table(source.name):
@@ -263,17 +314,18 @@ class QueryTransformer:
                     binding,
                     include_row=include_row,
                     soft_delete=self.layout.soft_delete,
+                    tenant_params=tenant_params,
                 )
             )
         where = block_to_select(block).where
         return ast.Select(
             items=tuple(block.items),
             sources=tuple(sources),
-            where=self.transform_predicate(tenant_id, where)
+            where=self.transform_predicate(tenant_id, where, tenant_params)
             if where is not None
             else None,
             group_by=tuple(block.group_by),
-            having=self.transform_predicate(tenant_id, block.having)
+            having=self.transform_predicate(tenant_id, block.having, tenant_params)
             if block.having is not None
             else None,
             order_by=tuple(block.order_by),

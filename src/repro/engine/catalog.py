@@ -195,6 +195,11 @@ class Catalog:
         self.prefix_compression = prefix_compression
         self.metadata_bytes = 0
         self.ddl_statements = 0
+        #: Monotonically increasing schema version, bumped on every
+        #: CREATE/DROP TABLE/INDEX.  Cached plans are validated against
+        #: it: a bump means any previously compiled plan may reference
+        #: objects that changed shape or disappeared.
+        self.version = 0
 
     # -- lookup ------------------------------------------------------------
 
@@ -234,6 +239,7 @@ class Catalog:
         self._tables[name.lower()] = table
         self.metadata_bytes += self.table_metadata_cost
         self.ddl_statements += 1
+        self.version += 1
         return table
 
     def drop_table(self, name: str) -> None:
@@ -245,6 +251,7 @@ class Catalog:
         del self._tables[name.lower()]
         self.metadata_bytes -= self.table_metadata_cost
         self.ddl_statements += 1
+        self.version += 1
 
     def create_index(
         self,
@@ -276,6 +283,7 @@ class Catalog:
         table.indexes[key] = info
         self.metadata_bytes += self.index_metadata_cost
         self.ddl_statements += 1
+        self.version += 1
         return info
 
     def drop_index(self, table_name: str, index_name: str) -> None:
@@ -286,3 +294,4 @@ class Catalog:
         table.indexes.pop(key).btree.drop()
         self.metadata_bytes -= self.index_metadata_cost
         self.ddl_statements += 1
+        self.version += 1

@@ -41,6 +41,7 @@ from .pager import DEFAULT_PAGE_SIZE, BufferPool, PoolStats
 from .plan.logical import split_conjuncts
 from .sql import ast
 from .sql.parser import parse_statement
+from .statement_cache import LruCache, PREPARABLE, PreparedStatement
 from .transactions import TransactionManager
 from .values import parse_type
 
@@ -64,6 +65,16 @@ class Result:
         return self.rows[0][0]
 
 
+@dataclass
+class _InsertProgram:
+    """A precompiled INSERT: value thunks plus target column layout."""
+
+    table_name: str
+    rows: list[list]
+    positions: tuple[int, ...] | None
+    width: int
+
+
 class Database:
     """An instrumented single-node relational database."""
 
@@ -78,6 +89,7 @@ class Database:
         insert_strategy: InsertStrategy = InsertStrategy.FIRST_FIT,
         prefix_compression: bool = True,
         enforce_budget: bool = False,
+        plan_cache_size: int = 256,
     ) -> None:
         self.memory_bytes = memory_bytes
         self.page_size = page_size
@@ -99,6 +111,11 @@ class Database:
         self.transactions = TransactionManager(metrics=self.metrics)
         self._planner = Planner(self.catalog, profile, self._execute_subquery)
         self._executor = Executor(self.catalog)
+        #: Prepared statements keyed by SQL text; ``plan_cache_size=0``
+        #: disables caching (every statement parses and plans afresh).
+        self._statements = LruCache(
+            plan_cache_size, self.metrics, "db.plan_cache"
+        )
 
     # -- configuration ------------------------------------------------------
 
@@ -173,12 +190,18 @@ class Database:
         started = time.perf_counter()
 
         stmt = None
+        prepared = None
+        text_hit = False
+        cache_hit = False
         head = sql.strip().rstrip(";").upper()
         if head not in ("BEGIN", "BEGIN TRANSACTION", "START TRANSACTION",
                         "COMMIT", "ROLLBACK"):
-            stmt = parse_statement(sql)
+            stmt, prepared, text_hit = self._lookup_statement(sql)
         if isinstance(stmt, ast.Select):
-            root = self._planner.plan_select(stmt)
+            if prepared is not None:
+                root, cache_hit = self._prepared_plan(prepared)
+            else:
+                root = self._planner.plan_select(stmt)
             collector = AnalyzeCollector() if analyze else None
             rows = self._executor.run(root, params, collector=collector)
             columns = [slot.name for slot in root.schema.slots]
@@ -186,6 +209,9 @@ class Database:
             if collector is not None:
                 plan_text = render_analyzed_plan(root, collector)
                 operators = collector.operators(root)
+        elif prepared is not None:
+            cache_hit = text_hit
+            result = self._execute_prepared(prepared, params)
         else:
             result = self.execute(sql, params)
 
@@ -203,6 +229,7 @@ class Database:
             locks=self.locks.stats.delta(lock_before),
             operators=operators,
             plan=plan_text,
+            cache_hit=cache_hit,
         )
 
     # -- execution -----------------------------------------------------------------
@@ -229,7 +256,37 @@ class Database:
         if head == "ROLLBACK":
             self.transactions.rollback()
             return Result([], [], 0)
+        stmt, prepared, _ = self._lookup_statement(sql)
+        if prepared is not None:
+            return self._execute_prepared(prepared, params)
+        return self._execute_statement(stmt, params)
+
+    def _lookup_statement(
+        self, sql: str
+    ) -> tuple[ast.Statement, PreparedStatement | None, bool]:
+        """Resolve SQL text through the plan cache.
+
+        Returns ``(stmt, prepared, hit)`` — ``prepared`` is ``None`` for
+        non-preparable statements (DDL) and when the cache is disabled.
+        """
+        if self._statements.enabled:
+            prepared = self._statements.get(sql)
+            if prepared is not None:
+                self.metrics.counter("db.plan_cache.hits").inc()
+                return prepared.stmt, prepared, True
         stmt = parse_statement(sql)
+        if isinstance(stmt, PREPARABLE):
+            prepared = PreparedStatement(self, stmt, sql)
+            if self._statements.enabled:
+                self.metrics.counter("db.plan_cache.misses").inc()
+                self._statements.put(sql, prepared)
+            return stmt, prepared, False
+        return stmt, None, False
+
+    def _execute_statement(
+        self, stmt: ast.Statement, params: Sequence[object] = ()
+    ) -> Result:
+        """Dispatch one parsed statement (the uncached path)."""
         if isinstance(
             stmt,
             (ast.CreateTable, ast.CreateIndex, ast.DropTable, ast.DropIndex),
@@ -262,6 +319,79 @@ class Database:
             self._resize_pool()
             return Result([], [], 0)
         raise PlanError(f"unsupported statement {type(stmt).__name__}")
+
+    def execute_ast(
+        self, stmt: ast.Statement, params: Sequence[object] = ()
+    ) -> Result:
+        """Execute an already-parsed statement — callers holding an AST
+        (the schema-mapping layer, migrations) skip the text round
+        trip entirely."""
+        return self._execute_statement(stmt, params)
+
+    # -- prepared statements ------------------------------------------------------
+
+    def prepare(self, sql: str) -> PreparedStatement:
+        """Parse (and, on first execution, plan) a statement once for
+        repeated execution.  The handle is shared with the internal plan
+        cache, so ``prepare`` of an already-hot statement is free."""
+        if self._statements.enabled:
+            prepared = self._statements.get(sql)
+            if prepared is not None:
+                return prepared
+        prepared = PreparedStatement(self, parse_statement(sql), sql)
+        self._statements.put(sql, prepared)
+        return prepared
+
+    def prepare_ast(self, stmt: ast.Statement) -> PreparedStatement:
+        """Prepare an already-parsed statement (not text-cache keyed —
+        the caller owns the handle's lifetime)."""
+        return PreparedStatement(self, stmt)
+
+    def _execute_prepared(
+        self, prepared: PreparedStatement, params: Sequence[object]
+    ) -> Result:
+        stmt = prepared.stmt
+        if isinstance(stmt, ast.Select):
+            root, _ = self._prepared_plan(prepared)
+            rows = self._executor.run(root, params)
+            columns = [slot.name for slot in root.schema.slots]
+            return Result(columns, rows, len(rows))
+        if isinstance(stmt, ast.Insert):
+            return self._run_insert_program(self._prepared_insert(prepared), params)
+        if isinstance(stmt, ast.Update):
+            return self._run_update(stmt, params)
+        return self._run_delete(stmt, params)
+
+    def _prepared_plan(self, prepared: PreparedStatement):
+        """The statement's physical plan, reusing the cached one while
+        ``(catalog.version, profile)`` still match.  Returns
+        ``(plan, reused)``."""
+        version = self.catalog.version
+        profile = self._planner.profile
+        if (
+            prepared.plan is not None
+            and prepared.catalog_version == version
+            and prepared.profile is profile
+        ):
+            return prepared.plan, True
+        if prepared.plan is not None:
+            self.metrics.counter("db.plan_cache.invalidations").inc()
+        prepared.plan = self._planner.plan_select(prepared.stmt)
+        prepared.catalog_version = version
+        prepared.profile = profile
+        return prepared.plan, False
+
+    def _prepared_insert(self, prepared: PreparedStatement) -> "_InsertProgram":
+        version = self.catalog.version
+        program = prepared.insert_program
+        if program is not None and prepared.catalog_version == version:
+            return program
+        if program is not None:
+            self.metrics.counter("db.plan_cache.invalidations").inc()
+        program = self._compile_insert(prepared.stmt)
+        prepared.insert_program = program
+        prepared.catalog_version = version
+        return program
 
     # -- SELECT -----------------------------------------------------------------
 
@@ -301,21 +431,39 @@ class Database:
 
     # -- DML -------------------------------------------------------------------------
 
-    def _run_insert(self, stmt: ast.Insert, params: Sequence[object]) -> Result:
+    def _compile_insert(self, stmt: ast.Insert) -> "_InsertProgram":
+        """Precompile an INSERT's value expressions and column layout;
+        the program stays valid until the catalog version changes."""
         table = self.catalog.table(stmt.table)
         compiler = ExprCompiler(Schema([]))
-        count = 0
+        expected = len(stmt.columns) if stmt.columns else len(table.columns)
+        rows = []
         for row_exprs in stmt.rows:
-            values = [compiler.compile(e)((), params) for e in row_exprs]
-            if stmt.columns:
-                if len(values) != len(stmt.columns):
-                    raise PlanError("INSERT arity mismatch")
-                full = [None] * len(table.columns)
-                for name, value in zip(stmt.columns, values):
-                    full[table.column_position(name)] = value
-                values = full
-            elif len(values) != len(table.columns):
+            if len(row_exprs) != expected:
                 raise PlanError("INSERT arity mismatch")
+            rows.append([compiler.compile(e) for e in row_exprs])
+        positions = (
+            tuple(table.column_position(name) for name in stmt.columns)
+            if stmt.columns
+            else None
+        )
+        return _InsertProgram(table.name, rows, positions, len(table.columns))
+
+    def _run_insert(self, stmt: ast.Insert, params: Sequence[object]) -> Result:
+        return self._run_insert_program(self._compile_insert(stmt), params)
+
+    def _run_insert_program(
+        self, program: "_InsertProgram", params: Sequence[object]
+    ) -> Result:
+        table = self.catalog.table(program.table_name)
+        count = 0
+        for compiled_row in program.rows:
+            values = [fn((), params) for fn in compiled_row]
+            if program.positions is not None:
+                full = [None] * program.width
+                for position, value in zip(program.positions, values):
+                    full[position] = value
+                values = full
             rid = table.insert_row(tuple(values))
             self.transactions.record_insert(table, rid)
             count += 1

@@ -34,6 +34,9 @@ class QueryTrace:
     locks: LockStats
     operators: list[OperatorStats] = field(default_factory=list)
     plan: str | None = None
+    #: Whether the statement was served from the plan cache (SELECTs:
+    #: cached plan reused without re-planning; DML: parse skipped).
+    cache_hit: bool = False
 
     # -- the counters the paper's figures are built from ------------------
 

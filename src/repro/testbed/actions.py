@@ -92,6 +92,9 @@ class ActionExecutor:
         self.rng = random.Random(seed)
         self._insert_counter: dict[tuple[int, str], int] = {}
         self._admin_instances = 0
+        #: Prepared handles for the deck's recurring statements, one per
+        #: SQL text (tenant-agnostic — the tenant binds per execution).
+        self._prepared: dict[str, object] = {}
         #: Tenants created by TENANT_ADD actions (deleted LIFO by
         #: TENANT_DELETE so the deck's pre-assigned tenants stay valid).
         self._churn_tenants: list[int] = []
@@ -118,6 +121,15 @@ class ActionExecutor:
         self._insert_counter[key] = counter + 1
         return counter
 
+    def _statement(self, sql: str):
+        """The action deck replays a small fixed set of statements
+        millions of times: keep one prepared handle per SQL text."""
+        handle = self._prepared.get(sql)
+        if handle is None:
+            handle = self.mtd.prepare(sql)
+            self._prepared[sql] = handle
+        return handle
+
     # -- the action classes ------------------------------------------------
 
     def run(self, action: ActionClass, tenant_id: int) -> str | None:
@@ -140,10 +152,8 @@ class ActionExecutor:
         """All attributes of one entity, as for an entity detail page."""
         base = self._random_base()
         table = self._table(tenant_id, base)
-        self.mtd.execute(
-            tenant_id,
-            f"SELECT * FROM {table} WHERE id = ?",
-            [self._random_entity(base)],
+        self._statement(f"SELECT * FROM {table} WHERE id = ?").execute(
+            tenant_id, [self._random_entity(base)]
         )
         return table
 
@@ -153,7 +163,7 @@ class ActionExecutor:
         child = self._table(tenant_id, child_base)
         parent = self._table(tenant_id, parent_base)
         sql = self.rng.choice(_reporting_queries(child, parent))
-        self.mtd.execute(tenant_id, sql)
+        self._statement(sql).execute(tenant_id)
         return child
 
     def insert_light(self, tenant_id: int) -> str:
@@ -185,11 +195,9 @@ class ActionExecutor:
         base = self._random_base()
         table = self._table(tenant_id, base)
         status = self.rng.choice(("new", "open", "working"))
-        self.mtd.execute(
-            tenant_id,
-            f"UPDATE {table} SET priority = ? WHERE status = ?",
-            [self.rng.randrange(10), status],
-        )
+        self._statement(
+            f"UPDATE {table} SET priority = ? WHERE status = ?"
+        ).execute(tenant_id, [self.rng.randrange(10), status])
         return table
 
     def update_heavy(self, tenant_id: int) -> str:
@@ -198,11 +206,9 @@ class ActionExecutor:
         table = self._table(tenant_id, base)
         ids = [self._random_entity(base) for _ in range(HEAVY_BATCH)]
         placeholders = ", ".join("?" for _ in ids)
-        self.mtd.execute(
-            tenant_id,
-            f"UPDATE {table} SET score = score + 1 WHERE id IN ({placeholders})",
-            ids,
-        )
+        self._statement(
+            f"UPDATE {table} SET score = score + 1 WHERE id IN ({placeholders})"
+        ).execute(tenant_id, ids)
         return table
 
     def admin(self, tenant_id: int) -> str | None:

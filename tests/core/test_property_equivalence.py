@@ -199,7 +199,12 @@ def run_query(mtd, scenario: dict, tenant: int, shape: int):
         )
     else:
         sql, params = "SELECT * FROM item", []
-    return sorted(mtd.execute(tenant, sql, params).rows, key=repr)
+    rows = sorted(mtd.execute(tenant, sql, params).rows, key=repr)
+    prepared = sorted(
+        mtd.prepare(sql).execute(tenant, params).rows, key=repr
+    )
+    assert prepared == rows, f"prepared != ad-hoc for {sql!r}"
+    return rows
 
 
 def layouts_for(scenario: dict) -> list[str]:
