@@ -1,0 +1,96 @@
+"""CLI: ``python -m repro.analysis [--strict] ...``.
+
+Runs the semantic, tenant-isolation, and layout-invariant passes over
+the Figure 5 CRM testbed at the Table 1 variability levels, printing a
+per-configuration summary and every finding.  ``--strict`` exits
+non-zero on any ERROR-severity finding — the CI analysis gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .findings import RULES
+from .mutation import MUTATIONS
+from .runner import (
+    ALL_LAYOUTS,
+    PAPER_VARIABILITIES,
+    AnalysisConfig,
+    run_analysis,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static analysis over the multi-tenant CRM testbed.",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero on any ERROR-severity finding",
+    )
+    parser.add_argument(
+        "--layouts",
+        nargs="+",
+        default=list(ALL_LAYOUTS),
+        choices=list(ALL_LAYOUTS),
+        help="layouts to analyze (default: all seven)",
+    )
+    parser.add_argument(
+        "--variability",
+        nargs="+",
+        type=float,
+        default=list(PAPER_VARIABILITIES),
+        help="Table 1 schema-variability levels (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--tenants", type=int, default=4, help="tenants per configuration"
+    )
+    parser.add_argument(
+        "--rows", type=int, default=2, help="rows per populated table"
+    )
+    parser.add_argument(
+        "--width", type=int, default=6, help="chunk width for chunked layouts"
+    )
+    parser.add_argument(
+        "--mutate",
+        choices=sorted(MUTATIONS),
+        default=None,
+        help="apply a seeded defect first (the gate must then fail)",
+    )
+    parser.add_argument(
+        "--no-admin-ops",
+        action="store_true",
+        help="skip the grant/migrate/drop administrative replay",
+    )
+    parser.add_argument(
+        "--rules", action="store_true", help="print the rule catalog and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.rules:
+        for rule in RULES.values():
+            print(f"{rule.rule_id}  {rule.severity!s:7s}  {rule.title}")
+        return 0
+
+    config = AnalysisConfig(
+        layouts=tuple(args.layouts),
+        variabilities=tuple(args.variability),
+        tenants=args.tenants,
+        rows_per_table=args.rows,
+        width=args.width,
+        mutate=args.mutate,
+        admin_ops=not args.no_admin_ops,
+    )
+    report = run_analysis(config, log=print)
+    print()
+    print(report.render(limit=50))
+    if args.strict and not report.ok:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

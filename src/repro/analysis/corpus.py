@@ -1,0 +1,124 @@
+"""A representative logical-statement corpus over the CRM schema.
+
+The isolation verifier proves guard discipline on the *emitted physical
+statements*, so coverage comes from driving the transformers with the
+statement shapes the paper's testbed uses (Section 4.2's action
+classes): point and range selects on reporting indexes, parent-child
+joins, aggregates with grouping, IN-subqueries, and single-row DML —
+over base columns and, for subscribed tenants, extension columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..testbed.crm import CRM_PARENTS, instance_table_name
+
+
+@dataclass(frozen=True)
+class CorpusStatement:
+    """One logical statement plus parameters to execute it with."""
+
+    sql: str
+    params: tuple = ()
+    #: Whether execution mutates data (DML is replayed through the
+    #: recording wrapper instead of the SELECT-transformation probes).
+    is_dml: bool = False
+
+
+def select_corpus(instance: int = 0, tables: int = 3) -> list[CorpusStatement]:
+    """Logical SELECT shapes over the first ``tables`` CRM tables."""
+    statements: list[CorpusStatement] = []
+    names = ["account", "contact", "opportunity", "campaign", "lead"][:tables]
+    for base in names:
+        table = instance_table_name(base, instance)
+        statements += [
+            CorpusStatement(f"SELECT COUNT(*) FROM {table}"),
+            CorpusStatement(
+                f"SELECT id, name, status FROM {table} WHERE id = ?", (1,)
+            ),
+            CorpusStatement(
+                f"SELECT id, created FROM {table} "
+                f"WHERE created BETWEEN '2000-01-01' AND '2030-01-01' "
+                f"ORDER BY created DESC"
+            ),
+            CorpusStatement(
+                f"SELECT status, COUNT(*), MAX(score) FROM {table} "
+                f"GROUP BY status HAVING COUNT(*) >= 1"
+            ),
+            CorpusStatement(
+                f"SELECT UPPER(name) FROM {table} WHERE name LIKE 'A%'"
+            ),
+        ]
+        parent = CRM_PARENTS.get(base)
+        if parent is not None:
+            parent_table = instance_table_name(parent, instance)
+            statements += [
+                CorpusStatement(
+                    f"SELECT c.id, p.name FROM {table} c, {parent_table} p "
+                    f"WHERE c.parent = p.id AND p.id = ?",
+                    (1,),
+                ),
+                CorpusStatement(
+                    f"SELECT id FROM {table} WHERE parent IN "
+                    f"(SELECT id FROM {parent_table} WHERE name LIKE '%')"
+                ),
+            ]
+    return statements
+
+
+def extension_corpus(
+    extensions, instance: int = 0
+) -> list[CorpusStatement]:
+    """Statements touching the columns of the tenant's granted
+    extensions (other tenants cannot even name these columns)."""
+    account = instance_table_name("account", instance)
+    contact = instance_table_name("contact", instance)
+    statements: list[CorpusStatement] = []
+    if "healthcare" in extensions:
+        statements.append(
+            CorpusStatement(
+                f"SELECT id, hospital, beds FROM {account} WHERE beds > ?",
+                (0,),
+            )
+        )
+    if "automotive" in extensions:
+        statements.append(
+            CorpusStatement(
+                f"SELECT id, dealers FROM {account} WHERE dealers >= ?", (0,)
+            )
+        )
+    if "gdpr" in extensions:
+        statements.append(
+            CorpusStatement(
+                f"SELECT COUNT(*) FROM {contact} WHERE consent = ?", (True,)
+            )
+        )
+    return statements
+
+
+def dml_corpus(instance: int = 0) -> list[CorpusStatement]:
+    """Single-row DML over the account table (phase a/b machinery)."""
+    account = instance_table_name("account", instance)
+    return [
+        CorpusStatement(
+            f"INSERT INTO {account} (id, name, status, quantity, created) "
+            f"VALUES (?, ?, 'new', 1, '2008-06-09')",
+            (9001, "Analysis Probe"),
+            is_dml=True,
+        ),
+        CorpusStatement(
+            f"UPDATE {account} SET status = ?, score = 10 WHERE id = ?",
+            ("checked", 9001),
+            is_dml=True,
+        ),
+        CorpusStatement(
+            f"UPDATE {account} SET quantity = quantity + 1 "
+            f"WHERE status = 'checked'",
+            (),
+            is_dml=True,
+        ),
+        CorpusStatement(
+            f"DELETE FROM {account} WHERE id = ?", (9001,), is_dml=True
+        ),
+    ]

@@ -1,0 +1,70 @@
+"""Seeded transformer/layout mutations for verifying the verifier.
+
+Each mutation breaks the schema-mapping layer in a way that must not
+survive the analysis gate: the CLI's ``--mutate`` flag applies one and
+``--strict`` is then expected to exit non-zero.  The mutation tests use
+these to prove the passes actually catch the bug classes they claim to.
+"""
+
+from __future__ import annotations
+
+from ..core.layouts.base import ColumnLoc, Fragment, TENANT_META
+
+
+def drop_tenant_guard(layout) -> None:
+    """Strip the Tenant meta pair from every fragment the layout emits.
+
+    Downstream, ``build_reconstruction`` and the DML transformer then
+    emit physical statements without ``tenant = ...`` conjuncts — the
+    exact cross-tenant leak the isolation verifier exists to catch.
+    """
+    original = layout.fragments
+
+    def mutated(tenant_id: int, table_name: str) -> list[Fragment]:
+        return [
+            Fragment(
+                table=f.table,
+                meta=tuple(m for m in f.meta if m[0] != TENANT_META),
+                columns=f.columns,
+                row_column=f.row_column,
+            )
+            for f in original(tenant_id, table_name)
+        ]
+
+    layout.fragments = mutated
+
+
+def drop_read_casts(layout) -> None:
+    """Strip read-side casts from fragment columns (breaks the
+    Universal/generic type funnel; LAY003 territory)."""
+    original = layout.fragments
+
+    def mutated(tenant_id: int, table_name: str) -> list[Fragment]:
+        return [
+            Fragment(
+                table=f.table,
+                meta=f.meta,
+                columns=tuple(
+                    (name, ColumnLoc(loc.physical, cast=None, store=loc.store))
+                    for name, loc in f.columns
+                ),
+                row_column=f.row_column,
+            )
+            for f in original(tenant_id, table_name)
+        ]
+
+    layout.fragments = mutated
+
+
+#: CLI-facing mutation registry.
+MUTATIONS = {
+    "drop-tenant-guard": drop_tenant_guard,
+    "drop-read-casts": drop_read_casts,
+}
+
+
+def apply_mutation(mtd, name: str) -> None:
+    mutate = MUTATIONS[name]
+    for layout in mtd._all_layouts():
+        mutate(layout)
+    mtd._invalidate_statements()

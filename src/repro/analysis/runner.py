@@ -1,0 +1,361 @@
+"""Drives all three passes over the Figure 5 CRM testbed.
+
+For every requested layout × Table 1 variability level, the runner
+builds a multi-tenant database over the CRM schema (every instance's
+ten tables, extensions on instance 0), populates a few rows per tenant,
+and then
+
+1. checks the layout invariants over the data at rest,
+2. walks the physical statements the transformers emit for the logical
+   corpus — both the directly-executed shape (literal tenant guards)
+   and the shape-shared cached shape (hidden parameter guards) — and
+   hands each to the isolation verifier,
+3. replays DML and administrative operations (grant, migrate, drop)
+   through a recorder wrapped around the engine, verifying every
+   statement that actually reaches it,
+4. re-checks the invariants after the mutations of step 3.
+
+Findings are counted into the engine's metrics registry under
+``analysis.*``.  ``python -m repro.analysis`` is a thin CLI over
+:func:`run_analysis`.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+
+from ..core.api import MultiTenantDatabase
+from ..core.transform.query import TenantParamAllocator
+from ..engine.sql import ast
+from ..engine.sql.parser import parse_statement
+from ..engine.statement_cache import count_params
+from ..testbed.crm import crm_extensions, crm_tables, instance_table_name
+from ..testbed.variability import VariabilityConfig, distribute_tenants
+from . import invariants
+from .corpus import dml_corpus, extension_corpus, select_corpus
+from .findings import AnalysisReport
+from .isolation import GuardContext, IsolationVerifier
+from .mutation import apply_mutation
+
+ALL_LAYOUTS = (
+    "private",
+    "basic",
+    "extension",
+    "universal",
+    "pivot",
+    "chunk",
+    "chunk_folding",
+)
+
+#: Table 1's schema-variability levels (experiments/manytables.py).
+PAPER_VARIABILITIES = (0.0, 0.5, 0.65, 0.8, 1.0)
+
+#: Layouts that cannot express tenant-specific extensions.
+NO_EXTENSIONS = ("basic",)
+
+
+@dataclass
+class AnalysisConfig:
+    """One analysis run's scope."""
+
+    layouts: tuple[str, ...] = ALL_LAYOUTS
+    variabilities: tuple[float, ...] = PAPER_VARIABILITIES
+    tenants: int = 4
+    rows_per_table: int = 2
+    #: Tables per instance to populate and query (all ten are defined
+    #: and invariant-checked; the statement corpus covers this many).
+    corpus_tables: int = 3
+    width: int = 6
+    #: Optional seeded defect (see :mod:`repro.analysis.mutation`).
+    mutate: str | None = None
+    #: Exercise administrative paths (grant / migrate / drop) too.
+    admin_ops: bool = True
+
+
+@contextlib.contextmanager
+def record_statements(db):
+    """Capture every statement reaching the engine while active."""
+    recorded: list[ast.Statement] = []
+    original_ast, original_text = db.execute_ast, db.execute
+
+    def rec_ast(stmt, params=()):
+        recorded.append(stmt)
+        return original_ast(stmt, params)
+
+    def rec_text(sql, params=()):
+        with contextlib.suppress(Exception):
+            recorded.append(parse_statement(sql))
+        return original_text(sql, params)
+
+    db.execute_ast, db.execute = rec_ast, rec_text
+    try:
+        yield recorded
+    finally:
+        db.execute_ast, db.execute = original_ast, original_text
+
+
+def build_testbed(
+    layout: str, config: AnalysisConfig, variability: float
+) -> MultiTenantDatabase:
+    """A populated CRM multi-tenant database for one configuration."""
+    vconfig = VariabilityConfig(variability=variability, tenants=config.tenants)
+    options = {}
+    if layout in ("chunk", "chunk_folding"):
+        options["width"] = config.width
+    mtd = MultiTenantDatabase(layout=layout, **options)
+    for instance in range(vconfig.instances):
+        for table in crm_tables(instance):
+            mtd.define_table(table)
+    extensions_enabled = layout not in NO_EXTENSIONS
+    if extensions_enabled:
+        for extension in crm_extensions(0):
+            mtd.define_extension(extension)
+    grants = (("healthcare",), ("automotive",), ("gdpr",), ())
+    assignment = distribute_tenants(vconfig)
+    for index, (tenant_id, instance) in enumerate(sorted(assignment.items())):
+        extensions = (
+            grants[index % len(grants)]
+            if extensions_enabled and instance == 0
+            else ()
+        )
+        mtd.create_tenant(tenant_id, extensions)
+        _populate(mtd, tenant_id, instance, config)
+    #: tenant -> CRM instance, consumed by :func:`analyze_testbed`.
+    mtd.analysis_instances = dict(assignment)
+    return mtd
+
+
+def _populate(
+    mtd: MultiTenantDatabase,
+    tenant_id: int,
+    instance: int,
+    config: AnalysisConfig,
+) -> None:
+    bases = ["account", "contact", "opportunity", "campaign", "lead"]
+    extensions = mtd.schema.tenant(tenant_id).extensions
+    for base in bases[: config.corpus_tables]:
+        table = instance_table_name(base, instance)
+        for n in range(config.rows_per_table):
+            row: dict[str, object] = {
+                "id": n + 1,
+                "name": f"{base}-{tenant_id}-{n}",
+                "status": "open" if n % 2 == 0 else "closed",
+                "quantity": n,
+                "score": n * 10,
+                "active": n % 2 == 0,
+                "created": "2008-06-09",
+            }
+            if base in ("contact", "opportunity", "lead"):
+                row["parent"] = 1
+            if base == "account" and "healthcare" in extensions:
+                row.update(hospital="St. Mary", beds=100 + n)
+            if base == "account" and "automotive" in extensions:
+                row.update(dealers=3 + n, fleet_size=40)
+            if base == "contact" and "gdpr" in extensions:
+                row.update(consent=True, consent_date="2018-05-25")
+            mtd.insert(tenant_id, table, row)
+
+
+def shared_table_map_from_catalog(catalog) -> dict[str, frozenset[str]]:
+    """Ground-truth shared-table map from the physical schema itself:
+    any table carrying meta discriminator columns is shared and every
+    one of them must be guarded.  Independent of the (possibly
+    mutated) fragment lists."""
+    meta_columns = ("tenant", "tbl", "chunk", "col")
+    shared: dict[str, frozenset[str]] = {}
+    for table in catalog.tables():
+        present = frozenset(
+            c for c in meta_columns if table.has_column(c)
+        )
+        if "tenant" in present:
+            shared[table.name.lower()] = present
+    return shared
+
+
+def analyze_testbed(
+    mtd: MultiTenantDatabase,
+    config: AnalysisConfig,
+    locus_prefix: str = "",
+) -> AnalysisReport:
+    """Passes 2 and 3 (plus admin-path replay) for one built testbed."""
+    report = AnalysisReport()
+    verifier = IsolationVerifier(
+        shared_table_map_from_catalog(mtd.db.catalog)
+    )
+    if config.mutate is not None:
+        apply_mutation(mtd, config.mutate)
+        # Structural invariants read fragments + catalog without
+        # executing the (now broken) transformed statements, so they
+        # still run under mutation — LAY00x must catch layout defects.
+        report.extend(invariants.check_fragments(mtd, locus_prefix))
+    else:
+        report.extend(invariants.check_all(mtd, locus_prefix))
+
+    tenants = sorted(c.tenant_id for c in mtd.schema.tenants())
+
+    # -- SELECT shapes: direct and shape-shared ---------------------------
+    for tenant_id in tenants:
+        instance = _tenant_instance(mtd, tenant_id)
+        statements = list(select_corpus(instance, config.corpus_tables))
+        statements += extension_corpus(
+            mtd.schema.tenant(tenant_id).extensions, instance
+        )
+        layout = mtd.layout_for(tenant_id)
+        for statement in statements:
+            stmt = parse_statement(statement.sql)
+            locus = f"{locus_prefix}tenant={tenant_id} sql={statement.sql}"
+            physical = mtd._physical_select(tenant_id, stmt)
+            report.extend(
+                verifier.check_statement(
+                    physical,
+                    GuardContext(expected_tenant=tenant_id),
+                    locus,
+                )
+            )
+            if layout.shares_statements:
+                allocator = TenantParamAllocator(count_params(stmt))
+                shared_physical = mtd._physical_select(
+                    tenant_id, stmt, allocator
+                )
+                report.extend(
+                    verifier.check_statement(
+                        shared_physical,
+                        GuardContext(
+                            expected_tenant=tenant_id,
+                            tenant_param_range=(
+                                allocator.base_params,
+                                allocator.base_params + allocator.count,
+                            ),
+                        ),
+                        locus + " [shape-shared]",
+                    )
+                )
+            if config.mutate is None:
+                mtd.execute(tenant_id, statement.sql, statement.params)
+
+    # -- DML and administrative paths (recorded at the engine) ------------
+    if config.mutate is None:
+        for tenant_id in tenants:
+            instance = _tenant_instance(mtd, tenant_id)
+            for statement in dml_corpus(instance):
+                locus = f"{locus_prefix}tenant={tenant_id} sql={statement.sql}"
+                with record_statements(mtd.db) as recorded:
+                    mtd.execute(tenant_id, statement.sql, statement.params)
+                for emitted in recorded:
+                    report.extend(
+                        verifier.check_statement(
+                            emitted,
+                            GuardContext(expected_tenant=tenant_id),
+                            locus,
+                        )
+                    )
+        if config.admin_ops:
+            report.extend(
+                _check_admin_ops(mtd, verifier, locus_prefix)
+            )
+        report.extend(invariants.check_all(mtd, locus_prefix))
+    return report
+
+
+def _tenant_instance(mtd: MultiTenantDatabase, tenant_id: int) -> int:
+    """Which CRM instance the tenant was provisioned against (instance
+    tables are named ``account``, ``account_i1``, ...)."""
+    return getattr(mtd, "analysis_instances", {}).get(tenant_id, 0)
+
+
+def _check_admin_ops(
+    mtd: MultiTenantDatabase, verifier: IsolationVerifier, locus_prefix: str
+) -> AnalysisReport:
+    """Grant, migrate, and drop paths, each recorded and verified."""
+    report = AnalysisReport()
+    tenants = sorted(c.tenant_id for c in mtd.schema.tenants())
+    if not tenants:
+        return report
+    subject = tenants[-1]
+
+    # Online extension grant (the NULL-backfill path fixed in this PR).
+    grantable = (
+        mtd.layout.supports_extensions
+        and _tenant_instance(mtd, subject) == 0
+        and any(e.name == "automotive" for e in mtd.schema.extensions())
+        and "automotive" not in mtd.schema.tenant(subject).extensions
+    )
+    if grantable:
+        with record_statements(mtd.db) as recorded:
+            mtd.grant_extension(subject, "automotive")
+        for emitted in recorded:
+            report.extend(
+                verifier.check_statement(
+                    emitted,
+                    GuardContext(expected_tenant=subject),
+                    f"{locus_prefix}grant tenant={subject}",
+                )
+            )
+
+    # Migration plan preservation + recorded movement.
+    target_name = "private" if mtd.layout.name != "private" else "extension"
+    source_layout = mtd.layout_for(subject)
+    source_fragments = {
+        table.name: source_layout.fragments(subject, table.name)
+        for table in mtd.schema.tables()
+    }
+    with record_statements(mtd.db) as recorded:
+        mtd.migrate_tenant(subject, target_name)
+    for emitted in recorded:
+        report.extend(
+            verifier.check_statement(
+                emitted,
+                GuardContext(expected_tenant=subject),
+                f"{locus_prefix}migrate tenant={subject}",
+            )
+        )
+    target_layout = mtd.layout_for(subject)
+    for table in mtd.schema.tables():
+        logical = mtd.schema.logical_table(subject, table.name)
+        report.extend(
+            invariants.check_migration_plan(
+                logical.columns,
+                source_fragments[table.name],
+                target_layout.fragments(subject, table.name),
+                f"{locus_prefix}migration-plan tenant={subject} "
+                f"table={table.name}",
+            )
+        )
+
+    # Tenant removal purges only the tenant's own rows.
+    victim = tenants[0]
+    with record_statements(mtd.db) as recorded:
+        mtd.drop_tenant(victim)
+    for emitted in recorded:
+        report.extend(
+            verifier.check_statement(
+                emitted,
+                GuardContext(expected_tenant=victim),
+                f"{locus_prefix}drop tenant={victim}",
+            )
+        )
+    return report
+
+
+def run_analysis(
+    config: AnalysisConfig | None = None, log=None
+) -> AnalysisReport:
+    """All passes over every layout × variability combination."""
+    config = config or AnalysisConfig()
+    emit = log or (lambda message: None)
+    total = AnalysisReport()
+    for layout in config.layouts:
+        for variability in config.variabilities:
+            prefix = f"layout={layout} v={variability} "
+            mtd = build_testbed(layout, config, variability)
+            report = analyze_testbed(mtd, config, prefix)
+            report.count_into(mtd.db.metrics)
+            emit(
+                f"{layout:14s} v={variability:<5} "
+                f"{report.checked:4d} checks, "
+                f"{len(report.errors)} error(s), "
+                f"{len(report.warnings)} warning(s)"
+            )
+            total.extend(report)
+    return total

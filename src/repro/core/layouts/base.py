@@ -17,7 +17,7 @@ and ``Row`` keep their names (lower-cased).
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterable
 
 from ...engine.database import Database
@@ -119,7 +119,18 @@ class Layout(abc.ABC):
         self.rows.forget_tenant(config.tenant_id)
 
     def on_extension_granted(self, config: TenantConfig, extension: Extension) -> None:
-        """React to a tenant subscribing to an extension at run time."""
+        """React to a tenant subscribing to an extension at run time.
+
+        Reconstruction inner-joins fragments on Row, so the tenant's
+        existing rows need NULL rows in every fragment that holds only
+        the newly granted columns — the same bookkeeping an ALTER
+        performs, restricted to one tenant.
+        """
+        self._backfill_tenant(
+            config.tenant_id,
+            extension.base_table,
+            {c.lname for c in extension.columns},
+        )
 
     def on_extension_altered(
         self, extension: Extension, new_columns: tuple[LogicalColumn, ...]
@@ -143,42 +154,53 @@ class Layout(abc.ABC):
     ) -> None:
         new_names = {c.lname for c in new_columns}
         for tenant_id in self.schema.tenants_with_extension(extension.name):
-            fragments = self.fragments(tenant_id, extension.base_table)
-            anchor = fragments[0]
-            if anchor.row_column is None:
-                continue  # conventional layouts rebuild tables themselves
-            targets = [
-                f
-                for f in fragments
-                if f.columns
-                and all(name in new_names for name, _ in f.columns)
-            ]
-            if not targets:
-                continue
-            where = " AND ".join(
-                f"{col} = {value!r}" for col, value in anchor.meta
-            ) or "1 = 1"
-            select_cols = anchor.row_column
-            if self.soft_delete:
-                select_cols += f", {ALIVE}"
-            rows = self.db.execute(
-                f"SELECT {select_cols} FROM {anchor.table} WHERE {where}"
-            ).rows
-            for fragment in targets:
-                for row in rows:
-                    names = [col for col, _ in fragment.meta]
-                    values: list[object] = [v for _, v in fragment.meta]
-                    names.append(fragment.row_column)
-                    values.append(row[0])
-                    if self.soft_delete:
-                        names.append(ALIVE)
-                        values.append(row[1])
-                    placeholders = ", ".join("?" for _ in values)
-                    self.db.execute(
-                        f"INSERT INTO {fragment.table} "
-                        f"({', '.join(names)}) VALUES ({placeholders})",
-                        values,
-                    )
+            self._backfill_tenant(tenant_id, extension.base_table, new_names)
+
+    def _backfill_tenant(
+        self, tenant_id: int, base_table: str, new_names: set[str]
+    ) -> None:
+        """NULL-backfill this tenant's fragments that hold only columns
+        from ``new_names``, so row-alignment joins keep existing rows."""
+        fragments = self.fragments(tenant_id, base_table)
+        anchor = fragments[0]
+        if anchor.row_column is None:
+            return  # conventional layouts rebuild tables themselves
+        targets = [
+            f
+            for f in fragments
+            if f.columns
+            and all(name in new_names for name, _ in f.columns)
+        ]
+        if not targets:
+            return
+        where = " AND ".join(
+            f"{col} = {value!r}" for col, value in anchor.meta
+        ) or "1 = 1"
+        select_cols = anchor.row_column
+        if self.soft_delete:
+            select_cols += f", {ALIVE}"
+        rows = self.db.execute(
+            f"SELECT {select_cols} FROM {anchor.table} WHERE {where}"
+        ).rows
+        for fragment in targets:
+            for row in rows:
+                # Meta values are inlined as literals (the guard
+                # discipline the isolation verifier proves); only the
+                # row identity travels as a parameter.
+                names = [col for col, _ in fragment.meta]
+                exprs = [f"{v!r}" for _, v in fragment.meta]
+                values: list[object] = [row[0]]
+                names.append(fragment.row_column)
+                exprs.append("?")
+                if self.soft_delete:
+                    names.append(ALIVE)
+                    exprs.append("?")
+                    values.append(row[1])
+                self.db.execute(
+                    f"INSERT INTO {fragment.table} "
+                    f"({', '.join(names)}) VALUES ({', '.join(exprs)})",
+                    values,
+                )
 
     # -- the fragment model ---------------------------------------------------
 

@@ -22,7 +22,7 @@ from ..folding import (
     chunk_table_ddl,
     partition_columns,
 )
-from ..schema import Extension, LogicalTable, TenantConfig
+from ..schema import Extension, TenantConfig
 from .base import (
     ColumnLoc,
     Fragment,
@@ -77,10 +77,32 @@ class ChunkTableLayout(Layout):
         return cached
 
     def on_extension_granted(self, config: TenantConfig, extension: Extension) -> None:
-        # The tenant's logical table changed shape: recompute its chunks.
-        self._partitions.pop(
-            (config.tenant_id, extension.base_table.lower()), None
-        )
+        """Widen the tenant's partition in place.
+
+        Partitioning is positional, so recomputing it from the new
+        logical schema would shuffle existing columns between chunks and
+        strand the tenant's rows in the old chunk tables.  A tenant with
+        a cached partition therefore keeps it and gains the extension's
+        columns as *appended* chunks (becoming a legacy tenant, like the
+        ALTER path); fresh tenants compute their partition from the full
+        schema on first use.
+        """
+        key = (config.tenant_id, extension.base_table.lower())
+        cached = self._partitions.get(key)
+        if cached is not None:
+            self._legacy_tenants.add(config.tenant_id)
+            start = len(cached)
+            appended = [
+                ChunkAssignment(
+                    chunk_id=start + a.chunk_id,
+                    shape=a.shape,
+                    indexed=a.indexed,
+                    slots=a.slots,
+                )
+                for a in partition_columns(list(extension.columns), self.width)
+            ]
+            self._partitions[key] = cached + appended
+        super().on_extension_granted(config, extension)
 
     def on_extension_altered(self, extension, new_columns) -> None:
         """Pure bookkeeping — but the width-driven partitioning is

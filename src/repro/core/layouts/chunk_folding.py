@@ -126,9 +126,11 @@ class ChunkFoldingLayout(Layout):
         return name
 
     def on_extension_granted(self, config: TenantConfig, extension: Extension) -> None:
-        """Pure bookkeeping: the Chunk Tables already exist and the
-        conventional tables are untouched — this is the property that
-        lets schema changes happen while the database is on-line."""
+        """No DDL — the Chunk Tables already exist and the conventional
+        tables are untouched (the property that lets schema changes
+        happen on-line).  The base-class bookkeeping still NULL-backfills
+        the extension chunks for the tenant's existing rows."""
+        super().on_extension_granted(config, extension)
 
     def on_extension_altered(self, extension: Extension, new_columns) -> None:
         """Online ALTER: the new columns get fresh chunks appended to

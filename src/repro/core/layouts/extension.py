@@ -9,7 +9,7 @@ from the Decomposed Storage Model, but partitioning stops at
 
 from __future__ import annotations
 
-from ..schema import Extension, LogicalTable, TenantConfig
+from ..schema import Extension, LogicalTable
 from .base import ColumnLoc, Fragment, Layout, ROW
 
 

@@ -9,9 +9,8 @@ shows collapsing past ~50,000 tables.
 
 from __future__ import annotations
 
-from ...engine.values import SqlType
 from ..schema import Extension, LogicalTable, TenantConfig
-from .base import ALIVE, ColumnLoc, Fragment, Layout
+from .base import ColumnLoc, Fragment, Layout
 
 
 class PrivateTableLayout(Layout):

@@ -76,6 +76,7 @@ class UniversalTableLayout(Layout):
                 f"extension {extension.name} overflows the Universal Table "
                 f"width ({self.width})"
             )
+        super().on_extension_granted(config, extension)
 
     def on_extension_altered(self, extension: Extension, new_columns) -> None:
         super().on_extension_altered(extension, new_columns)

@@ -11,7 +11,7 @@ consumes (the budget Chunk Folding tries to spend well).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 class RowIdAllocator:

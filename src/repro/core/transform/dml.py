@@ -28,7 +28,7 @@ from ...engine.expr import ExprCompiler, Schema, Slot
 from ...engine.sql import ast
 from ..layouts.base import ALIVE, Fragment
 from ..schema import MultiTenantSchema
-from .query import ROW_ALIAS, build_reconstruction, used_columns
+from .query import ROW_ALIAS, build_reconstruction
 
 #: Batch size for ``row IN (...)`` literal lists in buffered mode.
 IN_BATCH = 200

@@ -9,7 +9,7 @@ the mechanism behind the paper's Experiment 1.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .btree import BTreeIndex
 from .errors import (
@@ -17,7 +17,7 @@ from .errors import (
     NotNullViolation,
     UnknownObjectError,
 )
-from .heap import HeapFile, InsertStrategy, RowId, ROW_OVERHEAD
+from .heap import HeapFile, InsertStrategy, RowId
 from .pager import BufferPool
 from .values import SqlType
 

@@ -25,11 +25,11 @@ from .catalog import (
     INDEX_METADATA_COST,
     TABLE_METADATA_COST,
 )
-from .errors import BudgetExceededError, EngineError, PlanError
+from .errors import BudgetExceededError, EngineError, PlanError, SemanticError
 from .executor import ExecStats, Executor
 from .expr import ExprCompiler, Schema, Slot
 from .heap import InsertStrategy
-from .locks import LockStats, LockTable
+from .locks import LockTable
 from .observability import (
     AnalyzeCollector,
     MetricsRegistry,
@@ -338,14 +338,37 @@ class Database:
             prepared = self._statements.get(sql)
             if prepared is not None:
                 return prepared
-        prepared = PreparedStatement(self, parse_statement(sql), sql)
+        stmt = parse_statement(sql)
+        prepared = PreparedStatement(self, stmt, sql)
+        self.analyze_statement(stmt, sql)
         self._statements.put(sql, prepared)
         return prepared
 
     def prepare_ast(self, stmt: ast.Statement) -> PreparedStatement:
         """Prepare an already-parsed statement (not text-cache keyed —
         the caller owns the handle's lifetime)."""
-        return PreparedStatement(self, stmt)
+        prepared = PreparedStatement(self, stmt)
+        self.analyze_statement(stmt)
+        return prepared
+
+    def analyze_statement(self, stmt: ast.Statement, sql: str = ""):
+        """Run the static semantic analyzer over one statement.
+
+        Called on every ``prepare`` so semantically invalid statements
+        are rejected with a rule id *before* planning and before they
+        can poison the plan cache.  Returns the (clean) report; raises
+        :class:`SemanticError` when any ERROR-severity finding exists.
+        """
+        from ..analysis.semantic import CatalogProvider, SemanticAnalyzer
+
+        locus = sql or type(stmt).__name__
+        report = SemanticAnalyzer(CatalogProvider(self.catalog)).analyze(
+            stmt, locus
+        )
+        if not report.ok:
+            self.metrics.counter("analysis.semantic.rejections").inc()
+            raise SemanticError(report.errors)
+        return report
 
     def _execute_prepared(
         self, prepared: PreparedStatement, params: Sequence[object]

@@ -44,6 +44,22 @@ class TypeMismatchError(EngineError):
     """A value or expression does not fit the declared column type."""
 
 
+class SemanticError(EngineError):
+    """Static semantic analysis rejected a statement before planning.
+
+    Raised by ``Database.prepare`` / ``prepare_ast`` so bad statements
+    surface with a rule id instead of failing later (and never enter the
+    plan cache).  ``findings`` holds the offending
+    :class:`repro.analysis.findings.Finding` objects.
+    """
+
+    def __init__(self, findings) -> None:
+        self.findings = list(findings)
+        rules = ", ".join(sorted({f.rule_id for f in self.findings}))
+        detail = "; ".join(f.message for f in self.findings[:3])
+        super().__init__(f"semantic analysis failed [{rules}]: {detail}")
+
+
 class ConstraintError(EngineError):
     """A uniqueness or not-null constraint was violated."""
 

@@ -10,10 +10,10 @@ simulated response times.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, Sequence
 
-from .catalog import Catalog, Table
+from .catalog import Catalog
 from .errors import ExecutionError, PlanError
 from .plan import physical as phys
 from .values import sort_key

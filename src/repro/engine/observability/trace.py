@@ -11,7 +11,6 @@ counts from traces instead of hand-rolled global snapshot/delta pairs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
 
 from ..executor import ExecStats
 from ..locks import LockStats

@@ -21,17 +21,15 @@ profiles of one planner:
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from .catalog import Catalog, Table
 from .errors import EngineError, PlanError
 from .expr import (
-    Compiled,
     ExprCompiler,
     Schema,
     Slot,
-    contains_aggregate,
     referenced_bindings,
 )
 from .plan.logical import (

@@ -13,7 +13,6 @@ the tree and pulls rows.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
 
 from ..expr import Compiled, Schema
 

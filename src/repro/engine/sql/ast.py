@@ -9,7 +9,7 @@ paper's query-transformation layer emits SQL to DB2/MySQL).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Union
 
 # --------------------------------------------------------------------------

@@ -15,7 +15,7 @@ through, keeping earlier entries pointed at the row's current location.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from .errors import EngineError

@@ -23,7 +23,7 @@ simulated warm/cold response times for any Q2 scale factor.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..core.api import MultiTenantDatabase
 from ..core.schema import LogicalColumn, LogicalTable

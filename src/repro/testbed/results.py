@@ -5,7 +5,7 @@ buffer-pool hit ratios)."""
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .actions import ActionClass
 

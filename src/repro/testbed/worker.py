@@ -10,10 +10,8 @@ so contention effects appear without real threads (DESIGN.md §2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from ..engine.executor import ExecStats
-from ..engine.pager import PoolStats
 from .actions import ActionClass, ActionExecutor
 from .simtime import CostModel
 

@@ -1,0 +1,174 @@
+"""Tenant-isolation verifier across all seven layouts.
+
+Covers both cache keyings: the directly-executed shape (tenant guards
+inlined as literals) and the shape-shared cached shape (guards as
+hidden parameters in the :class:`TenantParamAllocator` range), plus the
+chunk layout's legacy-tenant fallback after an online grant.
+"""
+
+import pytest
+
+from repro import MultiTenantDatabase
+from repro.analysis.isolation import GuardContext, IsolationVerifier
+from repro.analysis.mutation import apply_mutation
+from repro.analysis.runner import shared_table_map_from_catalog
+from repro.core.transform.query import TenantParamAllocator
+from repro.engine.sql.parser import parse_statement
+from repro.engine.statement_cache import count_params
+
+from ..core.conftest import ALL_LAYOUTS, build_running_example
+
+LOGICAL = [
+    "SELECT aid, name FROM account WHERE aid = ?",
+    "SELECT COUNT(*) FROM account",
+    "SELECT name FROM account WHERE opened > '2000-01-01' ORDER BY aid",
+]
+
+
+def make_verifier(mtd):
+    return IsolationVerifier(shared_table_map_from_catalog(mtd.db.catalog))
+
+
+def direct_findings(mtd, tenant_id, sql):
+    verifier = make_verifier(mtd)
+    physical = mtd._physical_select(tenant_id, parse_statement(sql))
+    report = verifier.check_statement(
+        physical, GuardContext(expected_tenant=tenant_id), sql
+    )
+    return report
+
+
+def shared_findings(mtd, tenant_id, sql):
+    verifier = make_verifier(mtd)
+    stmt = parse_statement(sql)
+    allocator = TenantParamAllocator(count_params(stmt))
+    physical = mtd._physical_select(tenant_id, stmt, allocator)
+    context = GuardContext(
+        expected_tenant=tenant_id,
+        tenant_param_range=(
+            allocator.base_params,
+            allocator.base_params + allocator.count,
+        ),
+    )
+    return verifier.check_statement(physical, context, sql)
+
+
+@pytest.mark.parametrize("layout", ALL_LAYOUTS)
+@pytest.mark.parametrize("sql", LOGICAL)
+def test_direct_statements_are_guarded(layout, sql):
+    mtd = build_running_example(layout)
+    for tenant_id in (17, 35, 42):
+        report = direct_findings(mtd, tenant_id, sql)
+        assert report.ok, [f.message for f in report.findings]
+        assert report.checked >= 1
+
+
+@pytest.mark.parametrize("layout", ALL_LAYOUTS)
+@pytest.mark.parametrize("sql", LOGICAL)
+def test_shape_shared_statements_are_guarded(layout, sql):
+    mtd = build_running_example(layout)
+    if not mtd.layout.shares_statements:
+        pytest.skip(f"{layout} does not share cached statements")
+    for tenant_id in (17, 35, 42):
+        report = shared_findings(mtd, tenant_id, sql)
+        assert report.ok, [f.message for f in report.findings]
+
+
+def test_basic_layout_is_guarded():
+    # ``basic`` cannot host extensions, so it gets its own testbed.
+    mtd = MultiTenantDatabase(layout="basic")
+    from ..core.conftest import account_table
+
+    mtd.define_table(account_table())
+    mtd.create_tenant(17)
+    mtd.create_tenant(35)
+    mtd.insert(17, "account", {"aid": 1, "name": "Acme"})
+    for tenant_id in (17, 35):
+        for sql in LOGICAL:
+            assert direct_findings(mtd, tenant_id, sql).ok
+            assert shared_findings(mtd, tenant_id, sql).ok
+
+
+def test_cache_keying_private_vs_shared():
+    private = build_running_example("private")
+    shared = build_running_example("extension")
+    assert private.layout.statement_shape(17)[0] == "tenant"
+    assert private.layout.statement_shape(17) != private.layout.statement_shape(35)
+    assert shared.layout.statement_shape(17)[0] == "shape"
+    # Same extension set -> same shape; 17 and 42 differ.
+    assert shared.layout.statement_shape(17) != shared.layout.statement_shape(42)
+
+
+@pytest.mark.parametrize("layout", ["extension", "universal", "pivot", "chunk"])
+def test_dropped_guard_is_caught(layout):
+    mtd = build_running_example(layout)
+    apply_mutation(mtd, "drop-tenant-guard")
+    rules = set()
+    for sql in LOGICAL:
+        report = direct_findings(mtd, 17, sql)
+        rules |= {f.rule_id for f in report.errors}
+    assert "ISO001" in rules, rules
+
+
+def test_wrong_tenant_literal_is_caught():
+    mtd = build_running_example("extension")
+    verifier = make_verifier(mtd)
+    physical = mtd._physical_select(17, parse_statement(LOGICAL[0]))
+    report = verifier.check_statement(
+        physical, GuardContext(expected_tenant=35), "cross-tenant"
+    )
+    assert "ISO005" in {f.rule_id for f in report.errors}
+
+
+def test_literal_guard_in_shared_statement_is_caught():
+    # A statement destined for the shape-shared cache must not pin a
+    # tenant id as a literal: every other tenant with the same shape
+    # would replay it.
+    mtd = build_running_example("extension")
+    verifier = make_verifier(mtd)
+    physical = mtd._physical_select(17, parse_statement(LOGICAL[0]))
+    report = verifier.check_statement(
+        physical,
+        GuardContext(expected_tenant=17, tenant_param_range=(1, 2)),
+        "literal-in-shared",
+    )
+    assert "ISO003" in {f.rule_id for f in report.errors}
+
+
+def test_chunk_legacy_tenant_after_online_grant():
+    mtd = build_running_example("chunk")
+    before = mtd.layout.statement_shape(35)
+    mtd.grant_extension(35, "automotive")
+    # The tenant's chunks were appended, not repartitioned, so it now
+    # keys its cached statements per tenant instead of per shape.
+    assert 35 in mtd.layout._legacy_tenants
+    after = mtd.layout.statement_shape(35)
+    assert after != before
+    assert after != mtd.layout.statement_shape(42)
+    # And the post-ALTER statements stay fully guarded for everyone.
+    for tenant_id in (17, 35, 42):
+        for sql in LOGICAL:
+            assert direct_findings(mtd, tenant_id, sql).ok
+    assert direct_findings(
+        mtd, 35, "SELECT aid, dealers FROM account WHERE dealers IS NULL"
+    ).ok
+
+
+@pytest.mark.parametrize("layout", ALL_LAYOUTS)
+def test_dml_statements_are_guarded(layout):
+    from repro.analysis.runner import record_statements
+
+    mtd = build_running_example(layout)
+    verifier = make_verifier(mtd)
+    with record_statements(mtd.db) as recorded:
+        mtd.execute(
+            17, "INSERT INTO account (aid, name) VALUES (?, ?)", (9, "Probe")
+        )
+        mtd.execute(17, "UPDATE account SET name = 'P2' WHERE aid = ?", (9,))
+        mtd.execute(17, "DELETE FROM account WHERE aid = ?", (9,))
+    assert recorded
+    for stmt in recorded:
+        report = verifier.check_statement(
+            stmt, GuardContext(expected_tenant=17), "dml"
+        )
+        assert report.ok, [f.message for f in report.findings]
