@@ -66,6 +66,11 @@ def main(argv: list[str] | None = None) -> int:
         help="skip the grant/migrate/drop administrative replay",
     )
     parser.add_argument(
+        "--recovery",
+        action="store_true",
+        help="crash and recover each testbed from disk before analyzing it",
+    )
+    parser.add_argument(
         "--rules", action="store_true", help="print the rule catalog and exit"
     )
     args = parser.parse_args(argv)
@@ -83,6 +88,7 @@ def main(argv: list[str] | None = None) -> int:
         width=args.width,
         mutate=args.mutate,
         admin_ops=not args.no_admin_ops,
+        crash_recover=args.recovery,
     )
     report = run_analysis(config, log=print)
     print()

@@ -23,9 +23,12 @@ Findings are counted into the engine's metrics registry under
 from __future__ import annotations
 
 import contextlib
+import shutil
+import tempfile
 from dataclasses import dataclass
 
 from ..core.api import MultiTenantDatabase
+from ..engine.database import Database
 from ..core.transform.query import TenantParamAllocator
 from ..engine.sql import ast
 from ..engine.sql.parser import parse_statement
@@ -71,6 +74,11 @@ class AnalysisConfig:
     mutate: str | None = None
     #: Exercise administrative paths (grant / migrate / drop) too.
     admin_ops: bool = True
+    #: Build each testbed on disk, abandon it mid-flight (simulated
+    #: crash), recover, and run every pass against the *recovered*
+    #: database — proving the invariants and isolation guarantees
+    #: survive the durability path, not just a live process.
+    crash_recover: bool = False
 
 
 @contextlib.contextmanager
@@ -96,14 +104,19 @@ def record_statements(db):
 
 
 def build_testbed(
-    layout: str, config: AnalysisConfig, variability: float
+    layout: str,
+    config: AnalysisConfig,
+    variability: float,
+    *,
+    db_path: str | None = None,
 ) -> MultiTenantDatabase:
     """A populated CRM multi-tenant database for one configuration."""
     vconfig = VariabilityConfig(variability=variability, tenants=config.tenants)
     options = {}
     if layout in ("chunk", "chunk_folding"):
         options["width"] = config.width
-    mtd = MultiTenantDatabase(layout=layout, **options)
+    db = Database(path=db_path) if db_path is not None else None
+    mtd = MultiTenantDatabase(layout=layout, db=db, **options)
     for instance in range(vconfig.instances):
         for table in crm_tables(instance):
             mtd.define_table(table)
@@ -348,8 +361,16 @@ def run_analysis(
     for layout in config.layouts:
         for variability in config.variabilities:
             prefix = f"layout={layout} v={variability} "
-            mtd = build_testbed(layout, config, variability)
-            report = analyze_testbed(mtd, config, prefix)
+            if config.crash_recover:
+                mtd, cleanup = _build_recovered(layout, config, variability)
+                prefix += "recovered "
+            else:
+                mtd, cleanup = build_testbed(layout, config, variability), None
+            try:
+                report = analyze_testbed(mtd, config, prefix)
+            finally:
+                if cleanup is not None:
+                    cleanup()
             report.count_into(mtd.db.metrics)
             emit(
                 f"{layout:14s} v={variability:<5} "
@@ -359,3 +380,19 @@ def run_analysis(
             )
             total.extend(report)
     return total
+
+
+def _build_recovered(
+    layout: str, config: AnalysisConfig, variability: float
+):
+    """Build a durable testbed, abandon it without closing (the crash),
+    and hand back the recovered instance plus a cleanup callback."""
+    path = tempfile.mkdtemp(prefix=f"repro-analysis-{layout}-")
+    mtd = build_testbed(layout, config, variability, db_path=path)
+    instances = dict(getattr(mtd, "analysis_instances", {}))
+    # No close(), no flush: whatever the WAL already made durable is
+    # all recovery gets to work with — exactly the crash contract.
+    del mtd
+    recovered = MultiTenantDatabase.recover(Database(path=path))
+    recovered.analysis_instances = instances
+    return recovered, lambda: shutil.rmtree(path, ignore_errors=True)

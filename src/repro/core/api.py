@@ -21,10 +21,11 @@
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Sequence
 
 from ..engine.database import Database, Result
-from ..engine.errors import PlanError
+from ..engine.errors import CatalogError, PlanError
 from ..engine.optimizer import OptimizerProfile
 from ..engine.sql import ast
 from ..engine.sql.parser import parse_statement
@@ -68,17 +69,28 @@ class MultiTenantDatabase:
         predicate_order: PredicateOrder = PredicateOrder.ORIGINAL_FIRST,
         update_mode: UpdateMode = UpdateMode.BUFFERED,
         statement_cache_size: int = 256,
+        _replay: bool = False,
         **layout_options,
     ) -> None:
         self.db = db if db is not None else Database()
         self.schema = MultiTenantSchema()
+        #: True while :meth:`recover` replays logged admin operations:
+        #: suppresses admin-op WAL brackets (the ops are already in the
+        #: log) — see :meth:`_admin`.
+        self._replay = _replay
         self.layout = make_layout(layout, self.db, self.schema, **layout_options)
-        self.layout.bootstrap()
         self.flatten_for_simple = flatten_for_simple
         self.predicate_order = predicate_order
         self.update_mode = update_mode
         self._overrides: dict[int, Layout] = {}
+        #: tenant id -> (layout name, options) of its override layout,
+        #: recorded so recovery can rebuild the same layout object.
+        self._override_specs: dict[int, tuple[str, dict]] = {}
         self._migrator = Migrator(self.schema)
+        with self._admin(
+            "mtd_init", {"layout": layout, "options": dict(layout_options)}
+        ):
+            self.layout.bootstrap()
         #: Shape-keyed transformed statements; ``statement_cache_size=0``
         #: disables all caching at this layer (every call re-transforms).
         self._statements = StatementCache(statement_cache_size, self.db.metrics)
@@ -89,53 +101,113 @@ class MultiTenantDatabase:
         ] = {}
 
     # -- schema administration ------------------------------------------------
+    #
+    # Every administrative method runs inside a WAL admin-operation
+    # bracket (:meth:`Database.admin_operation`): a crash mid-operation
+    # leaves no partial effect after recovery (the op's records are
+    # skipped during replay), a completed operation is replayed from its
+    # payload by :meth:`recover`, and the closing marker carries a full
+    # bookkeeping snapshot of every layout.  In memory mode the bracket
+    # is a no-op context.
+
+    def _admin(self, op: str, payload: dict):
+        if self._replay:
+            return nullcontext()
+        return self.db.admin_operation(op, payload, self._bookkeeping_payload)
+
+    def _bookkeeping_payload(self) -> dict:
+        """The ``admin_end`` snapshot: allocator and partition state of
+        the default layout and every override layout."""
+        return {
+            "default": self.layout.bookkeeping(),
+            "overrides": {
+                tenant_id: {
+                    "layout": self._override_specs[tenant_id][0],
+                    "options": self._override_specs[tenant_id][1],
+                    "state": layout.bookkeeping(),
+                }
+                for tenant_id, layout in self._overrides.items()
+            },
+        }
 
     def define_table(self, table: LogicalTable) -> None:
         """Register (and physically provision) a base table."""
-        self.schema.add_table(table)
-        for layout in self._all_layouts():
-            layout.on_table_added(table)
-        self._invalidate_statements()
+        with self._admin("define_table", {"table": table}):
+            self.schema.add_table(table)
+            for layout in self._all_layouts():
+                layout.on_table_added(table)
+            self._invalidate_statements()
 
     def define_extension(self, extension: Extension) -> None:
-        self.schema.add_extension(extension)
-        for layout in self._all_layouts():
-            layout.on_extension_added(extension)
-        self._invalidate_statements()
+        with self._admin("define_extension", {"extension": extension}):
+            self.schema.add_extension(extension)
+            for layout in self._all_layouts():
+                layout.on_extension_added(extension)
+            self._invalidate_statements()
 
     def create_tenant(self, tenant_id: int, extensions: Sequence[str] = ()) -> None:
-        config = self.schema.add_tenant(tenant_id, tuple(extensions))
-        self.layout.on_tenant_added(config)
+        with self._admin(
+            "create_tenant",
+            {"tenant": tenant_id, "extensions": tuple(extensions)},
+        ):
+            config = self.schema.add_tenant(tenant_id, tuple(extensions))
+            self.layout.on_tenant_added(config)
 
     def drop_tenant(self, tenant_id: int) -> None:
-        """Remove a tenant and physically purge its data."""
-        layout = self.layout_for(tenant_id)
-        for table in self.schema.tables():
-            for fragment in layout.fragments(tenant_id, table.name):
-                predicate = None
-                for meta_col, value in fragment.meta:
-                    conjunct = ast.BinaryOp(
-                        "=", ast.ColumnRef(None, meta_col), ast.Literal(value)
-                    )
-                    predicate = (
-                        conjunct
-                        if predicate is None
-                        else ast.BinaryOp("AND", predicate, conjunct)
-                    )
-                if predicate is not None:
-                    self.db.execute_ast(ast.Delete(fragment.table, predicate))
-        config = self.schema.remove_tenant(tenant_id)
-        layout.on_tenant_removed(config)
-        self._overrides.pop(tenant_id, None)
-        self._invalidate_statements()
+        """Remove a tenant and physically purge its data.
+
+        Crash-atomic: the purge runs as one transaction inside an admin
+        bracket, so recovery either replays the whole drop or none of
+        it — never a tenant with half its fragments deleted.
+        """
+        with self._admin("drop_tenant", {"tenant": tenant_id}):
+            layout = self.layout_for(tenant_id)
+            # Enumerate fragments before the transaction: fragment
+            # listing may lazily CREATE missing physical tables, and
+            # DDL commits any open transaction.
+            purges: list[tuple] = []
+            for table in self.schema.tables():
+                purges.append(
+                    (table.name, layout.fragments(tenant_id, table.name))
+                )
+            with self.db.atomic():
+                for _table_name, fragments in purges:
+                    self.db.crashpoint("drop_tenant.table")
+                    for fragment in fragments:
+                        predicate = None
+                        for meta_col, value in fragment.meta:
+                            conjunct = ast.BinaryOp(
+                                "=",
+                                ast.ColumnRef(None, meta_col),
+                                ast.Literal(value),
+                            )
+                            predicate = (
+                                conjunct
+                                if predicate is None
+                                else ast.BinaryOp("AND", predicate, conjunct)
+                            )
+                        if predicate is not None:
+                            self.db.execute_ast(
+                                ast.Delete(fragment.table, predicate)
+                            )
+            config = self.schema.remove_tenant(tenant_id)
+            layout.on_tenant_removed(config)
+            self._overrides.pop(tenant_id, None)
+            self._override_specs.pop(tenant_id, None)
+            self._invalidate_statements()
 
     def grant_extension(self, tenant_id: int, extension_name: str) -> None:
         """Subscribe a tenant to an extension while the system is online."""
-        self.schema.grant_extension(tenant_id, extension_name)
-        self.layout_for(tenant_id).on_extension_granted(
-            self.schema.tenant(tenant_id), self.schema.extension(extension_name)
-        )
-        self._invalidate_statements()
+        with self._admin(
+            "grant_extension",
+            {"tenant": tenant_id, "extension": extension_name},
+        ):
+            self.schema.grant_extension(tenant_id, extension_name)
+            self.layout_for(tenant_id).on_extension_granted(
+                self.schema.tenant(tenant_id),
+                self.schema.extension(extension_name),
+            )
+            self._invalidate_statements()
 
     def alter_extension(
         self, extension_name: str, new_columns: Sequence[LogicalColumn]
@@ -144,12 +216,16 @@ class MultiTenantDatabase:
         NULL for the new columns; generic layouts do this as pure
         bookkeeping (plus NULL backfill), conventional layouts rebuild
         their affected tables."""
-        altered = self.schema.alter_extension(
-            extension_name, tuple(new_columns)
-        )
-        for layout in self._all_layouts():
-            layout.on_extension_altered(altered, tuple(new_columns))
-        self._invalidate_statements()
+        with self._admin(
+            "alter_extension",
+            {"extension": extension_name, "new_columns": tuple(new_columns)},
+        ):
+            altered = self.schema.alter_extension(
+                extension_name, tuple(new_columns)
+            )
+            for layout in self._all_layouts():
+                layout.on_extension_altered(altered, tuple(new_columns))
+            self._invalidate_statements()
 
     # -- per-tenant layout overrides (on-the-fly migration) ----------------------
 
@@ -169,19 +245,24 @@ class MultiTenantDatabase:
         Returns rows moved per table.  Other tenants keep the default
         layout; this tenant's queries follow it immediately.
         """
-        source = self.layout_for(tenant_id)
-        target = make_layout(layout_name, self.db, self.schema, **options)
-        target.bootstrap()
-        # Replay schema history into the new layout; physical structures
-        # that already exist (shared chunk tables, ...) are reused.
-        for table in self.schema.tables():
-            target.on_table_added(table)
-        for extension in self.schema.extensions():
-            target.on_extension_added(extension)
-        target.on_tenant_added(self.schema.tenant(tenant_id))
-        moved = self._migrator.migrate_tenant(tenant_id, source, target)
-        self._overrides[tenant_id] = target
-        self._invalidate_statements()
+        with self._admin(
+            "migrate_tenant",
+            {"tenant": tenant_id, "layout": layout_name, "options": dict(options)},
+        ):
+            source = self.layout_for(tenant_id)
+            target = make_layout(layout_name, self.db, self.schema, **options)
+            target.bootstrap()
+            # Replay schema history into the new layout; physical structures
+            # that already exist (shared chunk tables, ...) are reused.
+            for table in self.schema.tables():
+                target.on_table_added(table)
+            for extension in self.schema.extensions():
+                target.on_extension_added(extension)
+            target.on_tenant_added(self.schema.tenant(tenant_id))
+            moved = self._migrator.migrate_tenant(tenant_id, source, target)
+            self._overrides[tenant_id] = target
+            self._override_specs[tenant_id] = (layout_name, dict(options))
+            self._invalidate_statements()
         return moved
 
     # -- statements -----------------------------------------------------------------
@@ -304,14 +385,20 @@ class MultiTenantDatabase:
             physical = self._physical_select(tenant_id, stmt)
             return self.db.execute_ast(physical, params)
         _, dml = self._transformer_for(layout)
-        if isinstance(stmt, ast.Insert):
-            count = dml.insert(tenant_id, stmt, params)
-            return Result([], [], count)
-        if isinstance(stmt, ast.Update):
-            count = dml.update(tenant_id, stmt, params, self.update_mode)
-            return Result([], [], count)
-        if isinstance(stmt, ast.Delete):
-            count = dml.delete(tenant_id, stmt, params, self.update_mode)
+        if isinstance(stmt, (ast.Insert, ast.Update, ast.Delete)):
+            # One logical statement fans out into several physical ones;
+            # an atomic block keeps a crash from leaving a logical row
+            # with only some of its fragments.  Fragment listing may
+            # lazily CREATE physical tables, so force it before the
+            # transaction opens (DDL commits any open transaction).
+            layout.fragments(tenant_id, stmt.table)
+            with self.db.atomic():
+                if isinstance(stmt, ast.Insert):
+                    count = dml.insert(tenant_id, stmt, params)
+                elif isinstance(stmt, ast.Update):
+                    count = dml.update(tenant_id, stmt, params, self.update_mode)
+                else:
+                    count = dml.delete(tenant_id, stmt, params, self.update_mode)
             return Result([], [], count)
         if isinstance(stmt, ast.CreateTable):
             table = LogicalTable(
@@ -339,18 +426,160 @@ class MultiTenantDatabase:
     ) -> int:
         """Insert one logical row from a mapping; returns its Row id."""
         self.schema.tenant(tenant_id)
-        _, dml = self._transformer_for(self.layout_for(tenant_id))
-        return dml.insert_values(tenant_id, table_name, values, row_id=row_id)
+        layout = self.layout_for(tenant_id)
+        _, dml = self._transformer_for(layout)
+        layout.fragments(tenant_id, table_name)
+        with self.db.atomic():
+            return dml.insert_values(
+                tenant_id, table_name, values, row_id=row_id
+            )
 
     def restore(self, tenant_id: int, table_name: str, row_ids: list[int]) -> int:
         """Bring soft-deleted rows back from the Trashcan."""
         _, dml = self._transformer_for(self.layout_for(tenant_id))
-        return dml.restore(tenant_id, table_name, row_ids)
+        with self.db.atomic():
+            return dml.restore(tenant_id, table_name, row_ids)
 
     def purge_trashcan(self, tenant_id: int, table_name: str) -> int:
         """Physically delete a tenant's soft-deleted rows."""
         _, dml = self._transformer_for(self.layout_for(tenant_id))
-        return dml.purge_trashcan(tenant_id, table_name)
+        with self.db.atomic():
+            return dml.purge_trashcan(tenant_id, table_name)
+
+    # -- crash recovery -----------------------------------------------------------
+
+    @classmethod
+    def recover(cls, db: Database, **kwargs) -> "MultiTenantDatabase":
+        """Rebuild the schema-mapping layer on a recovered database.
+
+        The engine's own recovery (:func:`repro.engine.durability.
+        recovery.recover`, run by ``Database(path=...)``) restores the
+        physical tables; this replays the completed administrative
+        operations from the log to rebuild the logical schema, layout
+        objects, per-tenant overrides, and allocator bookkeeping.
+        Incomplete operations (crash mid-``drop_tenant``/
+        ``migrate_tenant``) were already discarded wholesale by the
+        engine, so the replay only ever sees consistent state.
+        ``kwargs`` override non-durable constructor options
+        (``flatten_for_simple``, ``update_mode``, ...).
+        """
+        ops = db.recovered_admin_ops
+        init = next((op for op in ops if op["op"] == "mtd_init"), None)
+        if init is None:
+            raise CatalogError(
+                "log records no multi-tenant schema (was this database "
+                "created through MultiTenantDatabase?)"
+            )
+        mtd = cls(
+            init["payload"]["layout"],
+            db=db,
+            _replay=True,
+            **{**init["payload"]["options"], **kwargs},
+        )
+        try:
+            for op in ops:
+                mtd._replay_admin(op)
+            mtd._restore_row_counters()
+        finally:
+            mtd._replay = False
+        mtd._invalidate_statements()
+        return mtd
+
+    def _replay_admin(self, op: dict) -> None:
+        """Re-apply one logged administrative operation.
+
+        Structural hooks re-run (their DDL is idempotent — the physical
+        tables survived through engine recovery); data-moving hooks
+        (extension backfills, table rebuilds, the migration copy) are
+        skipped because the engine already replayed their row-level
+        effects, and the closing bookkeeping snapshot overwrites any
+        allocator state the hooks would have computed.
+        """
+        name, payload = op["op"], op["payload"]
+        if name == "mtd_init":
+            pass  # handled by construction in recover()
+        elif name == "define_table":
+            table = payload["table"]
+            self.schema.add_table(table)
+            for layout in self._all_layouts():
+                layout.on_table_added(table)
+        elif name == "define_extension":
+            extension = payload["extension"]
+            self.schema.add_extension(extension)
+            for layout in self._all_layouts():
+                layout.on_extension_added(extension)
+        elif name == "create_tenant":
+            config = self.schema.add_tenant(
+                payload["tenant"], tuple(payload["extensions"])
+            )
+            self.layout.on_tenant_added(config)
+        elif name == "drop_tenant":
+            tenant_id = payload["tenant"]
+            layout = self.layout_for(tenant_id)
+            config = self.schema.remove_tenant(tenant_id)
+            layout.on_tenant_removed(config)
+            self._overrides.pop(tenant_id, None)
+            self._override_specs.pop(tenant_id, None)
+        elif name == "grant_extension":
+            # Schema-level only: the backfill/rebuild DML was replayed
+            # by the engine, and partition widening comes back with the
+            # bookkeeping snapshot below.
+            self.schema.grant_extension(payload["tenant"], payload["extension"])
+        elif name == "alter_extension":
+            self.schema.alter_extension(
+                payload["extension"], tuple(payload["new_columns"])
+            )
+        elif name == "migrate_tenant":
+            tenant_id = payload["tenant"]
+            target = make_layout(
+                payload["layout"], self.db, self.schema, **payload["options"]
+            )
+            target.bootstrap()
+            for table in self.schema.tables():
+                target.on_table_added(table)
+            for extension in self.schema.extensions():
+                target.on_extension_added(extension)
+            target.on_tenant_added(self.schema.tenant(tenant_id))
+            self._overrides[tenant_id] = target
+            self._override_specs[tenant_id] = (
+                payload["layout"],
+                dict(payload["options"]),
+            )
+        else:
+            raise CatalogError(f"unknown logged admin operation {name!r}")
+        end = op.get("end")
+        if end:
+            self.layout.restore_bookkeeping(end["default"])
+            for tenant_id, entry in end["overrides"].items():
+                layout = self._overrides.get(tenant_id)
+                if layout is not None:
+                    layout.restore_bookkeeping(entry["state"])
+
+    def _restore_row_counters(self) -> None:
+        """Advance Row-id allocators past every id visible in the data.
+
+        The bookkeeping snapshots only capture allocator state as of the
+        last administrative operation; ordinary inserts after it
+        allocated further ids, recoverable from the data itself (MAX of
+        the anchor fragment's Row column).  Layouts without a Row
+        column (Private Tables) have nothing to restore — their row ids
+        are never stored.
+        """
+        for config in self.schema.tenants():
+            layout = self.layout_for(config.tenant_id)
+            for table in self.schema.tables():
+                anchor = layout.fragments(config.tenant_id, table.name)[0]
+                if anchor.row_column is None:
+                    continue
+                where = " AND ".join(
+                    f"{column} = {value!r}" for column, value in anchor.meta
+                ) or "1 = 1"
+                top = self.db.execute(
+                    f"SELECT MAX({anchor.row_column}) FROM {anchor.table} "
+                    f"WHERE {where}"
+                ).scalar()
+                if top is not None:
+                    layout.rows.observe(config.tenant_id, table.name, top)
 
     # -- introspection ------------------------------------------------------------
 

@@ -202,6 +202,29 @@ class Layout(abc.ABC):
                     values,
                 )
 
+    # -- crash-recovery bookkeeping -----------------------------------------
+
+    def bookkeeping(self) -> dict:
+        """Picklable snapshot of the layout's in-memory bookkeeping.
+
+        Recorded at the end of every administrative operation (the WAL's
+        ``admin_end`` payload) and restored during replay: the physical
+        tables survive a crash through the engine's own recovery, but
+        row/column allocators and partition caches live only here.
+        Subclasses extend the dict; :meth:`restore_bookkeeping` must
+        accept exactly what this returns.
+        """
+        return {
+            "rows": self.rows.snapshot(),
+            "columns": self.columns.snapshot(),
+            "created_tables": set(self._created_tables),
+        }
+
+    def restore_bookkeeping(self, state: dict) -> None:
+        self.rows.restore(state["rows"])
+        self.columns.restore(state["columns"])
+        self._created_tables = set(state["created_tables"])
+
     # -- the fragment model ---------------------------------------------------
 
     @abc.abstractmethod

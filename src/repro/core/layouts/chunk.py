@@ -142,6 +142,25 @@ class ChunkTableLayout(Layout):
             return ("tenant", tenant_id)
         return super().statement_shape(tenant_id)
 
+    def bookkeeping(self) -> dict:
+        # Partitions must survive a crash verbatim: legacy tenants'
+        # appended chunks cannot be recomputed from the current schema.
+        state = super().bookkeeping()
+        state["partitions"] = {
+            key: list(assignments)
+            for key, assignments in self._partitions.items()
+        }
+        state["legacy_tenants"] = set(self._legacy_tenants)
+        return state
+
+    def restore_bookkeeping(self, state: dict) -> None:
+        super().restore_bookkeeping(state)
+        self._partitions = {
+            key: list(assignments)
+            for key, assignments in state["partitions"].items()
+        }
+        self._legacy_tenants = set(state["legacy_tenants"])
+
     # -- physical tables ---------------------------------------------------------
 
     def _ensure_folded(self, assignment: ChunkAssignment) -> str:

@@ -146,6 +146,31 @@ class ChunkFoldingLayout(Layout):
         # appended chunks.
         super().on_extension_altered(extension, new_columns)
 
+    def bookkeeping(self) -> dict:
+        state = super().bookkeeping()
+        state["next_chunk"] = dict(self._next_chunk)
+        state["extension_chunks"] = {
+            name: list(assignments)
+            for name, assignments in self._extension_chunks.items()
+        }
+        state["base_split"] = {
+            name: (list(conventional), list(chunks))
+            for name, (conventional, chunks) in self._base_split.items()
+        }
+        return state
+
+    def restore_bookkeeping(self, state: dict) -> None:
+        super().restore_bookkeeping(state)
+        self._next_chunk = dict(state["next_chunk"])
+        self._extension_chunks = {
+            name: list(assignments)
+            for name, assignments in state["extension_chunks"].items()
+        }
+        self._base_split = {
+            name: (list(conventional), list(chunks))
+            for name, (conventional, chunks) in state["base_split"].items()
+        }
+
     # -- fragments ----------------------------------------------------------------
 
     def _chunk_fragment(

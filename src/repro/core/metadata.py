@@ -40,6 +40,13 @@ class RowIdAllocator:
         for key in [k for k in self._next if k[0] == tenant_id]:
             del self._next[key]
 
+    def snapshot(self) -> dict:
+        """Picklable counter state (crash-recovery bookkeeping)."""
+        return dict(self._next)
+
+    def restore(self, state: dict) -> None:
+        self._next = dict(state)
+
 
 class ColumnIdAllocator:
     """Stable ``Col`` ids per base table.
@@ -69,6 +76,14 @@ class ColumnIdAllocator:
 
     def column_id(self, table_name: str, column_name: str) -> int:
         return self._ids[(table_name.lower(), column_name.lower())]
+
+    def snapshot(self) -> dict:
+        """Picklable id-assignment state (crash-recovery bookkeeping)."""
+        return {"ids": dict(self._ids), "next": dict(self._next)}
+
+    def restore(self, state: dict) -> None:
+        self._ids = dict(state["ids"])
+        self._next = dict(state["next"])
 
 
 @dataclass

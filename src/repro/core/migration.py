@@ -73,6 +73,10 @@ class Migrator:
         # widths fold into the same ChunkIndex tables), and the rows
         # are already buffered above.
         self._purge_source(tenant_id, table_name, source)
+        # The nastiest possible failure point: rows deleted from the
+        # source but not yet written to the target.  The enclosing
+        # admin-op bracket makes a crash here invisible after recovery.
+        source.db.crashpoint("migrate.after_purge")
 
         count = 0
         for row in result.rows:

@@ -102,6 +102,51 @@ class BTreeIndex:
         self._root_id = root.page_id
         self.height = 1
 
+    @classmethod
+    def attach(
+        cls,
+        pool: BufferPool,
+        segment_id: int,
+        *,
+        unique: bool,
+        prefix_compression: bool,
+        metrics=None,
+        root_id: int,
+        height: int,
+        entry_count: int,
+        distinct_keys: int,
+        prefix_distinct: list[int],
+    ) -> "BTreeIndex":
+        """Re-attach to an existing tree whose pages are already in the
+        page store (recovery) — bypasses the constructor so no fresh
+        root page is allocated."""
+        index = cls.__new__(cls)
+        index._pool = pool
+        index.segment_id = segment_id
+        index.unique = unique
+        index.prefix_compression = prefix_compression
+        index.entry_count = entry_count
+        index.distinct_keys = distinct_keys
+        index.descents = 0
+        index.searches = 0
+        index.prefix_scans = 0
+        index.range_scans = 0
+        index.inserts = 0
+        index.deletes = 0
+        index._metrics = metrics
+        index._prefix_distinct = list(prefix_distinct)
+        index._root_id = root_id
+        index.height = height
+        return index
+
+    @property
+    def root_id(self) -> int:
+        return self._root_id
+
+    def prefix_distinct_counts(self) -> list[int]:
+        """Copy of the per-prefix-length distinct counts (snapshots)."""
+        return list(self._prefix_distinct)
+
     def _count(self, attribute: str, metric: str) -> None:
         setattr(self, attribute, getattr(self, attribute) + 1)
         if self._metrics is not None:
@@ -322,10 +367,14 @@ class BTreeIndex:
     # -- splits ------------------------------------------------------------------
 
     def _maybe_split(self, path: list[int]) -> None:
-        page = self._pool.read(path[-1])
+        # The leaf is pinned across the sibling allocation: allocating
+        # may evict, and evicting a page we are still mutating would
+        # write back (and later re-read) a half-split node.
+        page = self._pool.read(path[-1], pin=True)
         leaf: _Leaf = page.payload
         page.used = self._leaf_used(leaf)
         if page.used <= page.capacity or len(leaf.keys) < 2:
+            self._pool.unpin(path[-1])
             return
         mid = len(leaf.keys) // 2
         right = _Leaf(leaf.keys[mid:], leaf.rid_lists[mid:], leaf.next_page)
@@ -336,6 +385,7 @@ class BTreeIndex:
         del leaf.rid_lists[mid:]
         leaf.next_page = right_page.page_id
         page.used = self._leaf_used(leaf)
+        self._pool.unpin(path[-1])
         separator = right.keys[0]
         self._insert_separator(path[:-1], separator, page.page_id, right_page.page_id)
 
@@ -350,7 +400,9 @@ class BTreeIndex:
             self.height += 1
             return
         parent_id = path[-1]
-        page = self._pool.read(parent_id)
+        # Same pin discipline as the leaf split: the parent stays pinned
+        # while its new sibling is allocated.
+        page = self._pool.read(parent_id, pin=True)
         node: _Internal = page.payload
         idx = node.children.index(left_id)
         node.separators.insert(idx, separator)
@@ -358,6 +410,7 @@ class BTreeIndex:
         page.used = self._internal_used(node)
         self._pool.mark_dirty(parent_id)
         if page.used <= page.capacity or len(node.separators) < 3:
+            self._pool.unpin(parent_id)
             return
         mid = len(node.separators) // 2
         up_key = node.separators[mid]
@@ -368,6 +421,7 @@ class BTreeIndex:
         del node.separators[mid:]
         del node.children[mid + 1 :]
         page.used = self._internal_used(node)
+        self._pool.unpin(parent_id)
         self._insert_separator(path[:-1], up_key, parent_id, right_page.page_id)
 
     # -- bulk / admin ----------------------------------------------------------------
@@ -379,11 +433,7 @@ class BTreeIndex:
 
     @property
     def page_count(self) -> int:
-        return sum(
-            1
-            for p in self._pool._disk.values()  # noqa: SLF001 - sibling module
-            if p.segment_id == self.segment_id
-        )
+        return len(self._pool.pages_in_segment(self.segment_id))
 
     def drop(self) -> None:
         self._pool.free_segment(self.segment_id)

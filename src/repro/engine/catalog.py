@@ -223,6 +223,34 @@ class Catalog:
     def index_count(self) -> int:
         return sum(len(t.indexes) for t in self._tables.values())
 
+    @property
+    def next_segment(self) -> int:
+        return self._next_segment
+
+    # -- recovery ----------------------------------------------------------
+
+    def adopt(self, table: Table) -> None:
+        """Register an externally rebuilt table (checkpoint restore) —
+        no segment allocation, no meta-data charge, no version bump:
+        the restored counters carry all of that."""
+        if self.has_table(table.name):
+            raise DuplicateObjectError(f"table {table.name!r} already exists")
+        self._tables[table.name.lower()] = table
+
+    def restore_counters(
+        self,
+        *,
+        next_segment: int,
+        metadata_bytes: int,
+        ddl_statements: int,
+        version: int,
+    ) -> None:
+        """Restore allocator/accounting state from a checkpoint."""
+        self._next_segment = next_segment
+        self.metadata_bytes = metadata_bytes
+        self.ddl_statements = ddl_statements
+        self.version = version
+
     # -- DDL ---------------------------------------------------------------
 
     def create_table(self, name: str, columns: list[Column]) -> Table:

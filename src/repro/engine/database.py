@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import re
 import time
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -25,6 +26,8 @@ from .catalog import (
     INDEX_METADATA_COST,
     TABLE_METADATA_COST,
 )
+from .durability import DurabilityManager, DurabilityOptions
+from .durability.wal import WalStats
 from .errors import BudgetExceededError, EngineError, PlanError, SemanticError
 from .executor import ExecStats, Executor
 from .expr import ExprCompiler, Schema, Slot
@@ -90,14 +93,29 @@ class Database:
         prefix_compression: bool = True,
         enforce_budget: bool = False,
         plan_cache_size: int = 256,
+        path: str | None = None,
+        durability: DurabilityOptions | None = None,
     ) -> None:
         self.memory_bytes = memory_bytes
         self.page_size = page_size
         self.enforce_budget = enforce_budget
         #: Engine-wide observability: every subsystem below feeds this.
         self.metrics = MetricsRegistry()
+        #: Disk-backed when a ``path`` is given: WAL + page store live in
+        #: that directory and opening it again recovers to the last
+        #: committed state.  ``path=None`` keeps the historical
+        #: all-in-memory behaviour, byte-for-byte.
+        self.durability = (
+            DurabilityManager(path, metrics=self.metrics, options=durability)
+            if path is not None
+            else None
+        )
         self.pool = BufferPool(
-            max(1, memory_bytes // page_size), page_size, metrics=self.metrics
+            max(1, memory_bytes // page_size),
+            page_size,
+            metrics=self.metrics,
+            store=self.durability.store if self.durability else None,
+            durability=self.durability,
         )
         self.catalog = Catalog(
             self.pool,
@@ -108,7 +126,9 @@ class Database:
             metrics=self.metrics,
         )
         self.locks = LockTable(metrics=self.metrics)
-        self.transactions = TransactionManager(metrics=self.metrics)
+        self.transactions = TransactionManager(
+            metrics=self.metrics, durability=self.durability
+        )
         self._planner = Planner(self.catalog, profile, self._execute_subquery)
         self._executor = Executor(self.catalog)
         #: Prepared statements keyed by SQL text; ``plan_cache_size=0``
@@ -116,6 +136,13 @@ class Database:
         self._statements = LruCache(
             plan_cache_size, self.metrics, "db.plan_cache"
         )
+        #: Statement nesting depth; auto-checkpoints only fire between
+        #: top-level statements.
+        self._execute_depth = 0
+        if self.durability is not None:
+            from .durability.recovery import recover
+
+            recover(self)
 
     # -- configuration ------------------------------------------------------
 
@@ -144,6 +171,82 @@ class Database:
     @property
     def buffer_pool_pages(self) -> int:
         return self.pool.capacity_pages
+
+    # -- durability ---------------------------------------------------------
+
+    @property
+    def durable(self) -> bool:
+        return self.durability is not None
+
+    @property
+    def wal_stats(self) -> WalStats:
+        if self.durability is None:
+            return WalStats()
+        return self.durability.wal.stats
+
+    def checkpoint(self) -> bool:
+        """Force a checkpoint now (no-op in memory mode)."""
+        if self.durability is None:
+            return False
+        return self.durability.checkpoint(self)
+
+    def crashpoint(self, name: str) -> None:
+        """Hit a named fault-injection crashpoint (no-op in memory mode
+        or with an unarmed injector)."""
+        if self.durability is not None:
+            self.durability.faults.crashpoint(name)
+
+    def admin_operation(self, op: str, payload: dict, end_payload):
+        """Crash-atomicity bracket for a multi-statement administrative
+        operation (see :meth:`DurabilityManager.admin_operation`); a
+        plain no-op context in memory mode."""
+        if self.durability is None:
+            return nullcontext()
+        return self.durability.admin_operation(op, payload, end_payload)
+
+    @property
+    def recovered_admin_ops(self) -> list[dict]:
+        """Completed admin operations recovered from the log, oldest
+        first — the schema-mapping layer replays these to rebuild its
+        bookkeeping after a crash."""
+        if self.durability is None:
+            return []
+        return list(self.durability.admin_ops)
+
+    @contextmanager
+    def atomic(self):
+        """Run a block inside one transaction (crash-atomic in durable
+        mode).  Nested entry and memory mode are pass-throughs; a
+        simulated crash (``BaseException``) propagates without rollback,
+        like a real power cut."""
+        if self.durability is None or self.transactions.active:
+            yield
+            return
+        self.transactions.begin()
+        try:
+            yield
+        except Exception:
+            # DDL inside the block commits the transaction out from
+            # under us (DDL is non-transactional); nothing to undo then.
+            if self.transactions.active:
+                self.transactions.rollback()
+            raise
+        else:
+            if self.transactions.active:
+                self.transactions.commit()
+
+    def close(self) -> None:
+        """Flush the WAL and close the on-disk files (durable mode)."""
+        if self.durability is not None:
+            self.transactions.end_statement()
+            self.durability.wal.flush()
+            self.durability.close()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # -- planning / explain -----------------------------------------------------
 
@@ -185,35 +288,41 @@ class Database:
         pool_before = self.pool.stats.snapshot()
         exec_before = self._executor.stats.snapshot()
         lock_before = self.locks.stats.snapshot()
+        wal_before = self.wal_stats.snapshot()
         plan_text: str | None = None
         operators: list = []
         started = time.perf_counter()
 
-        stmt = None
-        prepared = None
-        text_hit = False
-        cache_hit = False
-        head = sql.strip().rstrip(";").upper()
-        if head not in ("BEGIN", "BEGIN TRANSACTION", "START TRANSACTION",
-                        "COMMIT", "ROLLBACK"):
-            stmt, prepared, text_hit = self._lookup_statement(sql)
-        if isinstance(stmt, ast.Select):
-            if prepared is not None:
-                root, cache_hit = self._prepared_plan(prepared)
+        self._execute_depth += 1
+        try:
+            stmt = None
+            prepared = None
+            text_hit = False
+            cache_hit = False
+            head = sql.strip().rstrip(";").upper()
+            if head not in ("BEGIN", "BEGIN TRANSACTION", "START TRANSACTION",
+                            "COMMIT", "ROLLBACK"):
+                stmt, prepared, text_hit = self._lookup_statement(sql)
+            if isinstance(stmt, ast.Select):
+                if prepared is not None:
+                    root, cache_hit = self._prepared_plan(prepared)
+                else:
+                    root = self._planner.plan_select(stmt)
+                collector = AnalyzeCollector() if analyze else None
+                rows = self._executor.run(root, params, collector=collector)
+                columns = [slot.name for slot in root.schema.slots]
+                result = Result(columns, rows, len(rows))
+                if collector is not None:
+                    plan_text = render_analyzed_plan(root, collector)
+                    operators = collector.operators(root)
+            elif prepared is not None:
+                cache_hit = text_hit
+                result = self._execute_prepared(prepared, params)
             else:
-                root = self._planner.plan_select(stmt)
-            collector = AnalyzeCollector() if analyze else None
-            rows = self._executor.run(root, params, collector=collector)
-            columns = [slot.name for slot in root.schema.slots]
-            result = Result(columns, rows, len(rows))
-            if collector is not None:
-                plan_text = render_analyzed_plan(root, collector)
-                operators = collector.operators(root)
-        elif prepared is not None:
-            cache_hit = text_hit
-            result = self._execute_prepared(prepared, params)
-        else:
-            result = self.execute(sql, params)
+                result = self.execute(sql, params)
+        finally:
+            self._execute_depth -= 1
+        self._maybe_auto_checkpoint()
 
         elapsed_ms = (time.perf_counter() - started) * 1000.0
         self.metrics.histogram("db.statement_ms").observe(elapsed_ms)
@@ -227,6 +336,7 @@ class Database:
             pool=self.pool.stats.delta(pool_before),
             exec=self._executor.stats.delta(exec_before),
             locks=self.locks.stats.delta(lock_before),
+            wal=self.wal_stats.delta(wal_before),
             operators=operators,
             plan=plan_text,
             cache_hit=cache_hit,
@@ -256,10 +366,17 @@ class Database:
         if head == "ROLLBACK":
             self.transactions.rollback()
             return Result([], [], 0)
-        stmt, prepared, _ = self._lookup_statement(sql)
-        if prepared is not None:
-            return self._execute_prepared(prepared, params)
-        return self._execute_statement(stmt, params)
+        self._execute_depth += 1
+        try:
+            stmt, prepared, _ = self._lookup_statement(sql)
+            if prepared is not None:
+                result = self._execute_prepared(prepared, params)
+            else:
+                result = self._execute_statement(stmt, params)
+        finally:
+            self._execute_depth -= 1
+        self._maybe_auto_checkpoint()
+        return result
 
     def _lookup_statement(
         self, sql: str
@@ -308,17 +425,32 @@ class Database:
             self.catalog.create_index(
                 stmt.index, stmt.table, list(stmt.columns), unique=stmt.unique
             )
+            self._log_ddl(
+                op="create_index",
+                index=stmt.index,
+                table=stmt.table,
+                columns=list(stmt.columns),
+                unique=stmt.unique,
+            )
             self._resize_pool()
             return Result([], [], 0)
         if isinstance(stmt, ast.DropTable):
             self.catalog.drop_table(stmt.table)
+            self._log_ddl(op="drop_table", table=stmt.table)
             self._resize_pool()
             return Result([], [], 0)
         if isinstance(stmt, ast.DropIndex):
             self.catalog.drop_index(stmt.table, stmt.index)
+            self._log_ddl(op="drop_index", table=stmt.table, index=stmt.index)
             self._resize_pool()
             return Result([], [], 0)
         raise PlanError(f"unsupported statement {type(stmt).__name__}")
+
+    def _log_ddl(self, **ddl) -> None:
+        """WAL a DDL statement *after* it applied — failed DDL must
+        never replay."""
+        if self.durability is not None:
+            self.durability.log_ddl(ddl)
 
     def execute_ast(
         self, stmt: ast.Statement, params: Sequence[object] = ()
@@ -326,7 +458,19 @@ class Database:
         """Execute an already-parsed statement — callers holding an AST
         (the schema-mapping layer, migrations) skip the text round
         trip entirely."""
-        return self._execute_statement(stmt, params)
+        self._execute_depth += 1
+        try:
+            result = self._execute_statement(stmt, params)
+        finally:
+            self._execute_depth -= 1
+        self._maybe_auto_checkpoint()
+        return result
+
+    def _maybe_auto_checkpoint(self) -> None:
+        """Between top-level statements, checkpoint if enough log has
+        accumulated since the last one."""
+        if self._execute_depth == 0 and self.durability is not None:
+            self.durability.maybe_checkpoint(self)
 
     # -- prepared statements ------------------------------------------------------
 
@@ -443,6 +587,11 @@ class Database:
             Column(c.name, parse_type(c.type_text), c.not_null) for c in stmt.columns
         ]
         self.catalog.create_table(stmt.table, columns)
+        self._log_ddl(
+            op="create_table",
+            table=stmt.table,
+            columns=[(c.name, c.type_text, c.not_null) for c in stmt.columns],
+        )
         self._resize_pool()
         return Result([], [], 0)
 
@@ -480,16 +629,27 @@ class Database:
     ) -> Result:
         table = self.catalog.table(program.table_name)
         count = 0
-        for compiled_row in program.rows:
-            values = [fn((), params) for fn in compiled_row]
-            if program.positions is not None:
-                full = [None] * program.width
-                for position, value in zip(program.positions, values):
-                    full[position] = value
-                values = full
-            rid = table.insert_row(tuple(values))
-            self.transactions.record_insert(table, rid)
-            count += 1
+        try:
+            for compiled_row in program.rows:
+                values = [fn((), params) for fn in compiled_row]
+                if program.positions is not None:
+                    full = [None] * program.width
+                    for position, value in zip(program.positions, values):
+                        full[position] = value
+                    values = full
+                row = tuple(values)
+                rid = table.insert_row(row)
+                self.transactions.record_insert(table, rid, row)
+                count += 1
+        except Exception:
+            # A failed autocommit statement leaves its partial effects
+            # in place (no statement-level rollback here), so the WAL
+            # terminal must make replay reproduce that partial state.
+            # A SimulatedCrash (BaseException) skips this: a crash mid
+            # statement means the statement never committed.
+            self.transactions.end_statement()
+            raise
+        self.transactions.end_statement()
         self._executor.stats.statements += 1
         return Result([], [], count)
 
@@ -559,22 +719,35 @@ class Database:
             for col, expr in stmt.assignments
         ]
         rids = self._match_rids(table, stmt.where, params)
-        for rid in rids:
-            old_row = table.heap.fetch(rid)
-            new_row = list(old_row)
-            # SET expressions all see the pre-update row, per SQL.
-            for position, compiled in assignments:
-                new_row[position] = compiled(old_row, params)
-            new_rid = table.update_row(rid, tuple(new_row))
-            self.transactions.record_update(table, rid, old_row, new_rid)
+        try:
+            for rid in rids:
+                old_row = table.heap.fetch(rid)
+                new_row = list(old_row)
+                # SET expressions all see the pre-update row, per SQL.
+                for position, compiled in assignments:
+                    new_row[position] = compiled(old_row, params)
+                new_tuple = tuple(new_row)
+                new_rid = table.update_row(rid, new_tuple)
+                self.transactions.record_update(
+                    table, rid, old_row, new_rid, new_tuple
+                )
+        except Exception:
+            self.transactions.end_statement()
+            raise
+        self.transactions.end_statement()
         self._executor.stats.statements += 1
         return Result([], [], len(rids))
 
     def _run_delete(self, stmt: ast.Delete, params: Sequence[object]) -> Result:
         table = self.catalog.table(stmt.table)
         rids = self._match_rids(table, stmt.where, params)
-        for rid in rids:
-            row = table.delete_row(rid)
-            self.transactions.record_delete(table, rid, row)
+        try:
+            for rid in rids:
+                row = table.delete_row(rid)
+                self.transactions.record_delete(table, rid, row)
+        except Exception:
+            self.transactions.end_statement()
+            raise
+        self.transactions.end_statement()
         self._executor.stats.statements += 1
         return Result([], [], len(rids))

@@ -1,0 +1,93 @@
+"""Fault injection for crash-recovery testing.
+
+A :class:`FaultInjector` is threaded through the WAL, the page store,
+and the engine's admin operations.  Durability-relevant code paths call
+``crashpoint(name)`` at the instants where dying would be most
+interesting (mid-writeback, between an admin operation's begin and end
+markers, after a checkpoint flushed pages but before it installed the
+new log, ...).  Tests arm the injector to die at the *k*-th crashpoint
+hit, at the *n*-th occurrence of one named point, or with physically
+corrupted I/O (a torn page write, a short WAL fsync).
+
+``SimulatedCrash`` deliberately subclasses :class:`BaseException`, not
+``Exception``: the engine and the analysis harness suppress ordinary
+exceptions in several places (a statement failing must not kill a
+testbed run), but a simulated power cut must never be swallowed by an
+``except Exception`` — nothing after it may run, exactly like a real
+crash.
+"""
+
+from __future__ import annotations
+
+
+class SimulatedCrash(BaseException):
+    """The process "died" here.  Only the test harness catches this."""
+
+
+class FaultInjector:
+    """Deterministic crash scheduling for one engine instance.
+
+    An unarmed injector (the default) only counts crashpoint hits —
+    running a workload once with it yields the crashpoint space a
+    property test can then sample with ``crash_after``.
+    """
+
+    def __init__(
+        self,
+        *,
+        crash_after: int | None = None,
+        crash_at: tuple[str, int] | None = None,
+        torn_page_write: int | None = None,
+        short_fsync: int | None = None,
+    ) -> None:
+        #: Die on the k-th crashpoint hit (1-based), whatever its name.
+        self.crash_after = crash_after
+        #: Die on the n-th hit (1-based) of one named crashpoint.
+        self.crash_at = crash_at
+        #: Tear the k-th page-store write: only a prefix of the frame
+        #: reaches the file, then the process dies.
+        self.torn_page_write = torn_page_write
+        #: Cut the k-th WAL flush short: only a prefix of the buffered
+        #: log reaches the file, then the process dies.
+        self.short_fsync = short_fsync
+        self.hits = 0
+        self.counts: dict[str, int] = {}
+        self._page_writes = 0
+        self._wal_flushes = 0
+
+    # -- crashpoints ------------------------------------------------------
+
+    def crashpoint(self, name: str) -> None:
+        """Count a named crashpoint; die here if armed for it."""
+        self.hits += 1
+        self.counts[name] = self.counts.get(name, 0) + 1
+        if self.crash_after is not None and self.hits >= self.crash_after:
+            raise SimulatedCrash(f"crashpoint #{self.hits}: {name}")
+        if self.crash_at is not None:
+            at_name, nth = self.crash_at
+            if name == at_name and self.counts[name] >= nth:
+                raise SimulatedCrash(f"crashpoint {name} (hit {nth})")
+
+    # -- physical corruption ----------------------------------------------
+
+    def torn_write_length(self, frame_length: int) -> int | None:
+        """Bytes of the next page-store frame that reach disk, or
+        ``None`` for a full write.  A non-None return means the caller
+        must write that prefix and then raise :class:`SimulatedCrash`."""
+        self._page_writes += 1
+        if self.torn_page_write is not None and (
+            self._page_writes >= self.torn_page_write
+        ):
+            return max(1, frame_length // 2)
+        return None
+
+    def short_fsync_length(self, flush_length: int) -> int | None:
+        """Bytes of the next WAL flush that reach disk, or ``None``."""
+        if flush_length <= 0:
+            return None
+        self._wal_flushes += 1
+        if self.short_fsync is not None and (
+            self._wal_flushes >= self.short_fsync
+        ):
+            return max(1, flush_length // 2)
+        return None

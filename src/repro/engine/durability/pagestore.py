@@ -1,0 +1,279 @@
+"""A log-structured disk page store.
+
+Each segment (one heap file or B-tree) owns an append-only file of
+CRC-framed page images (``seg_<id>.pages``).  Writing a page appends a
+new version stamped with the WAL LSN current when the page was last
+dirtied; the in-memory index tracks the latest version of every page,
+so reads are one seek.  Old versions accumulate until a checkpoint
+compacts the files; recovery instead *truncates* to the checkpoint LSN,
+discarding every version written after the snapshot being restored.
+
+Page payloads are Python objects (heap slot lists, B-tree nodes) —
+serialization goes through the same pickle+CRC framing as the WAL, so a
+torn page write from a crash is detected by checksum and simply ends
+that file's readable prefix.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from typing import Iterable
+
+from ..errors import EngineError
+from ..pager import Page, PageKind
+from .codec import HEADER_SIZE, decode_frames, encode_frame
+from .faults import FaultInjector, SimulatedCrash
+
+_SEGMENT_FILE = re.compile(r"^seg_(\d+)\.pages$")
+
+
+def _segment_filename(segment_id: int) -> str:
+    return f"seg_{segment_id:06d}.pages"
+
+
+class DiskPageStore:
+    """Versioned page images in per-segment append files."""
+
+    def __init__(
+        self,
+        directory: str,
+        *,
+        metrics=None,
+        faults: FaultInjector | None = None,
+    ) -> None:
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self._faults = faults or FaultInjector()
+        self._metrics = metrics
+        if metrics is not None:
+            self._c_page_writes = metrics.counter("db.pager.page_writes")
+            self._c_page_reads = metrics.counter("db.pager.page_reads")
+            self._c_bytes_written = metrics.counter("db.pager.bytes_written")
+            self._c_bytes_read = metrics.counter("db.pager.bytes_read")
+            self._c_fsyncs = metrics.counter("db.pager.fsyncs")
+        #: page_id -> (segment_id, offset, frame_length, lsn) of the
+        #: latest version.
+        self._index: dict[int, tuple[int, int, int, int]] = {}
+        #: segment_id -> valid byte length of its file.
+        self._sizes: dict[int, int] = {}
+        self._files: dict[int, object] = {}
+        self._scan()
+
+    # -- startup ----------------------------------------------------------
+
+    def _segment_path(self, segment_id: int) -> str:
+        return os.path.join(self.directory, _segment_filename(segment_id))
+
+    def _scan(self) -> None:
+        """Index every valid frame; truncate torn tails so appends
+        always extend a readable file."""
+        for name in sorted(os.listdir(self.directory)):
+            match = _SEGMENT_FILE.match(name)
+            if match is None:
+                continue
+            segment_id = int(match.group(1))
+            path = os.path.join(self.directory, name)
+            with open(path, "rb") as fh:
+                data = fh.read()
+            valid_end = 0
+            for offset, record in decode_frames(data):
+                frame_length = HEADER_SIZE + int.from_bytes(
+                    data[offset : offset + 4], "little"
+                )
+                valid_end = offset + frame_length
+                self._record_version(
+                    record["page_id"], segment_id, offset, frame_length,
+                    record["lsn"],
+                )
+            if valid_end < len(data):
+                with open(path, "r+b") as fh:
+                    fh.truncate(valid_end)
+            self._sizes[segment_id] = valid_end
+
+    def _record_version(
+        self, page_id: int, segment_id: int, offset: int, length: int, lsn: int
+    ) -> None:
+        current = self._index.get(page_id)
+        # Later offsets in the same file are strictly newer; a page
+        # never moves between segments.
+        if current is None or offset >= current[1]:
+            self._index[page_id] = (segment_id, offset, length, lsn)
+
+    # -- handles ----------------------------------------------------------
+
+    def _handle(self, segment_id: int):
+        fh = self._files.get(segment_id)
+        if fh is None:
+            path = self._segment_path(segment_id)
+            fh = open(path, "r+b" if os.path.exists(path) else "w+b")
+            self._files[segment_id] = fh
+            self._sizes.setdefault(segment_id, os.path.getsize(path))
+        return fh
+
+    # -- write / read -----------------------------------------------------
+
+    def write(self, page: Page, lsn: int) -> None:
+        """Append a new version of ``page``.  The write reaches the OS
+        immediately (process-kill durability); fsync happens at
+        checkpoints via :meth:`sync`."""
+        record = {
+            "page_id": page.page_id,
+            "lsn": lsn,
+            "segment": page.segment_id,
+            "kind": page.kind.value,
+            "size": page.size,
+            "used": page.used,
+            "payload": page.payload,
+        }
+        frame = encode_frame(record)
+        fh = self._handle(page.segment_id)
+        offset = self._sizes.get(page.segment_id, 0)
+        fh.seek(offset)
+        torn = self._faults.torn_write_length(len(frame))
+        if torn is not None:
+            fh.write(frame[:torn])
+            fh.flush()
+            raise SimulatedCrash(
+                f"torn page write: {torn}/{len(frame)} bytes of page "
+                f"{page.page_id} reached disk"
+            )
+        fh.write(frame)
+        fh.flush()
+        self._sizes[page.segment_id] = offset + len(frame)
+        self._record_version(
+            page.page_id, page.segment_id, offset, len(frame), lsn
+        )
+        if self._metrics is not None:
+            self._c_page_writes.inc()
+            self._c_bytes_written.inc(len(frame))
+
+    def read(self, page_id: int) -> Page:
+        loc = self._index.get(page_id)
+        if loc is None:
+            raise EngineError(f"page {page_id} does not exist")
+        segment_id, offset, length, _lsn = loc
+        fh = self._handle(segment_id)
+        fh.seek(offset)
+        data = fh.read(length)
+        decoded = next(iter(decode_frames(data)), None)
+        if decoded is None:
+            raise EngineError(f"page {page_id}: corrupt frame on disk")
+        _, record = decoded
+        if self._metrics is not None:
+            self._c_page_reads.inc()
+            self._c_bytes_read.inc(length)
+        page = Page(
+            page_id=record["page_id"],
+            segment_id=record["segment"],
+            kind=PageKind(record["kind"]),
+            size=record["size"],
+            used=record["used"],
+            payload=record["payload"],
+        )
+        page.lsn = record["lsn"]
+        return page
+
+    # -- membership -------------------------------------------------------
+
+    def contains(self, page_id: int) -> bool:
+        return page_id in self._index
+
+    def page_ids(self) -> set[int]:
+        return set(self._index)
+
+    def pages_in_segment(self, segment_id: int) -> set[int]:
+        return {
+            pid for pid, loc in self._index.items() if loc[0] == segment_id
+        }
+
+    def free_segment(self, segment_id: int) -> int:
+        """Drop a segment's file (DROP TABLE/INDEX).  Returns the number
+        of latest-version pages it held."""
+        doomed = [
+            pid for pid, loc in self._index.items() if loc[0] == segment_id
+        ]
+        for pid in doomed:
+            del self._index[pid]
+        fh = self._files.pop(segment_id, None)
+        if fh is not None:
+            fh.close()
+        self._sizes.pop(segment_id, None)
+        path = self._segment_path(segment_id)
+        if os.path.exists(path):
+            os.remove(path)
+        return len(doomed)
+
+    # -- durability -------------------------------------------------------
+
+    def sync(self) -> None:
+        """fsync every open segment file (checkpoint barrier)."""
+        for fh in self._files.values():
+            fh.flush()
+            os.fsync(fh.fileno())
+            if self._metrics is not None:
+                self._c_fsyncs.inc()
+
+    # -- version management -----------------------------------------------
+
+    def truncate_to(self, cutoff_lsn: int) -> None:
+        """Keep, per page, only the newest version with
+        ``lsn <= cutoff_lsn``; physically discard everything else.
+        Recovery uses this to roll the store back to the state the
+        checkpoint snapshot describes."""
+        self._rewrite(lambda lsn: lsn <= cutoff_lsn)
+
+    def compact(self) -> None:
+        """Keep only the latest version of every page (checkpoint GC)."""
+        self._rewrite(lambda lsn: True)
+
+    def _rewrite(self, keep) -> None:
+        segment_ids = set(self._sizes)
+        for name in os.listdir(self.directory):
+            match = _SEGMENT_FILE.match(name)
+            if match is not None:
+                segment_ids.add(int(match.group(1)))
+        self._index.clear()
+        for segment_id in sorted(segment_ids):
+            path = self._segment_path(segment_id)
+            if not os.path.exists(path):
+                self._sizes.pop(segment_id, None)
+                continue
+            fh = self._files.pop(segment_id, None)
+            if fh is not None:
+                fh.close()
+            with open(path, "rb") as src:
+                data = src.read()
+            best: dict[int, dict] = {}
+            for _offset, record in decode_frames(data):
+                if keep(record["lsn"]):
+                    best[record["page_id"]] = record
+            if not best:
+                os.remove(path)
+                self._sizes.pop(segment_id, None)
+                continue
+            tmp = path + ".tmp"
+            offset = 0
+            locations: list[tuple[int, int, int, int]] = []
+            with open(tmp, "wb") as dst:
+                for record in best.values():
+                    frame = encode_frame(record)
+                    dst.write(frame)
+                    locations.append(
+                        (record["page_id"], offset, len(frame), record["lsn"])
+                    )
+                    offset += len(frame)
+                dst.flush()
+                os.fsync(dst.fileno())
+            os.replace(tmp, path)
+            self._sizes[segment_id] = offset
+            for page_id, off, length, lsn in locations:
+                self._index[page_id] = (segment_id, off, length, lsn)
+
+    def segment_ids(self) -> Iterable[int]:
+        return set(self._sizes)
+
+    def close(self) -> None:
+        for fh in self._files.values():
+            fh.close()
+        self._files.clear()

@@ -191,6 +191,18 @@ class HeapFile:
     def page_ids(self) -> list[int]:
         return list(self._page_ids)
 
+    def free_map(self) -> dict[int, int]:
+        """Free-space map copy (captured into checkpoint snapshots)."""
+        return dict(self._free_map)
+
+    def restore(
+        self, page_ids: list[int], free_map: dict[int, int], row_count: int
+    ) -> None:
+        """Re-attach to pages already in the page store (recovery)."""
+        self._page_ids = list(page_ids)
+        self._free_map = dict(free_map)
+        self.row_count = row_count
+
     def drop(self) -> None:
         self._pool.free_segment(self.segment_id)
         self._page_ids.clear()

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..durability.wal import WalStats
 from ..executor import ExecStats
 from ..locks import LockStats
 from ..pager import PoolStats
@@ -31,6 +32,9 @@ class QueryTrace:
     pool: PoolStats
     exec: ExecStats
     locks: LockStats
+    #: WAL activity (records appended, bytes flushed, fsyncs) caused by
+    #: this statement; all-zero in memory mode.
+    wal: WalStats = field(default_factory=WalStats)
     operators: list[OperatorStats] = field(default_factory=list)
     plan: str | None = None
     #: Whether the statement was served from the plan cache (SELECTs:
@@ -90,6 +94,12 @@ class QueryTrace:
                 f"waits={self.locks.waits} wait_ms={self.locks.wait_ms:.3f}"
             ),
         ]
+        if self.wal.records or self.wal.bytes_written:
+            lines.append(
+                f"wal: records={self.wal.records} "
+                f"bytes={self.wal.bytes_written} "
+                f"flushes={self.wal.flushes} fsyncs={self.wal.fsyncs}"
+            )
         if self.plan:
             lines.append(self.plan)
         return "\n".join(lines)

@@ -51,6 +51,9 @@ class Page:
     size: int
     used: int = 0
     payload: Any = None
+    #: WAL LSN current when the page was last dirtied (disk-backed mode
+    #: only; drives the WAL rule on writeback).  0 in memory mode.
+    lsn: int = 0
 
     @property
     def capacity(self) -> int:
@@ -124,12 +127,19 @@ class _Frame:
 
 
 class BufferPool:
-    """An LRU buffer pool over a simulated disk.
+    """An LRU buffer pool over a simulated or real disk.
 
-    The "disk" is the ``_disk`` dict: pages never disappear, but accessing
-    a page that is not resident counts as a physical read and may evict
-    the least-recently-used unpinned frame.  Pinned pages (e.g. B-tree
-    root pages during a descent) are never evicted.
+    In memory mode (the default) the "disk" is the ``_disk`` dict: pages
+    never disappear, but accessing a page that is not resident counts as
+    a physical read and may evict the least-recently-used unpinned
+    frame.  Pinned pages (e.g. B-tree root pages during a descent) are
+    never evicted.
+
+    With a ``store`` (a :class:`~repro.engine.durability.pagestore.DiskPageStore`)
+    the pool is disk-backed: misses read page images from segment files,
+    dirty frames are written back on eviction/flush, and the WAL rule is
+    enforced through ``durability`` before any dirty page reaches disk.
+    The counting contract is identical in both modes.
     """
 
     def __init__(
@@ -138,12 +148,16 @@ class BufferPool:
         page_size: int = DEFAULT_PAGE_SIZE,
         *,
         metrics=None,
+        store=None,
+        durability=None,
     ):
         if capacity_pages < 1:
             raise EngineError("buffer pool needs at least one frame")
         self.capacity_pages = capacity_pages
         self.page_size = page_size
         self.stats = PoolStats()
+        self._store = store
+        self._durability = durability
         self._disk: dict[int, Page] = {}
         self._frames: OrderedDict[int, _Frame] = OrderedDict()
         self._next_page_id = 1
@@ -175,12 +189,23 @@ class BufferPool:
 
     # -- allocation -------------------------------------------------------
 
-    def allocate(self, segment_id: int, kind: PageKind) -> Page:
+    def allocate(
+        self, segment_id: int, kind: PageKind, *, pin: bool = False
+    ) -> Page:
         """Create a new page, resident and counted as a write."""
         page = Page(self._next_page_id, segment_id, kind, self.page_size)
         self._next_page_id += 1
-        self._disk[page.page_id] = page
-        self._admit(page)
+        if self._store is None:
+            self._disk[page.page_id] = page
+            frame = self._admit(page)
+        else:
+            # A fresh page is born dirty: it exists nowhere on disk yet,
+            # so it must be written back even if never marked again.
+            page.lsn = self._durability.current_lsn
+            frame = self._admit(page)
+            frame.dirty = True
+        if pin:
+            frame.pins += 1
         self.stats.writes += 1
         if self._c_writes is not None:
             self._c_writes.inc()
@@ -188,6 +213,13 @@ class BufferPool:
 
     def free_segment(self, segment_id: int) -> int:
         """Drop every page of a segment (DROP TABLE/INDEX). Returns count."""
+        if self._store is not None:
+            doomed = self.pages_in_segment(segment_id)
+            for pid in doomed:
+                self._frames.pop(pid, None)
+            self._store.free_segment(segment_id)
+            self._sync_resident_gauge()
+            return len(doomed)
         doomed = [pid for pid, p in self._disk.items() if p.segment_id == segment_id]
         for pid in doomed:
             self._frames.pop(pid, None)
@@ -199,15 +231,29 @@ class BufferPool:
 
     def read(self, page_id: int, *, pin: bool = False) -> Page:
         """Access a page, recording a logical (and possibly physical) read."""
+        if self._store is not None:
+            frame = self._frames.get(page_id)
+            if frame is not None:
+                page = frame.page
+                self._count_logical(page.kind)
+                self._frames.move_to_end(page_id)
+            else:
+                page = self._store.read(page_id)
+                self._count_logical(page.kind)
+                if page.kind is PageKind.DATA:
+                    self.stats.physical_data += 1
+                else:
+                    self.stats.physical_index += 1
+                if self._c_writes is not None:
+                    self._c_physical[page.kind].inc()
+                frame = self._admit(page)
+            if pin:
+                frame.pins += 1
+            return page
         page = self._disk.get(page_id)
         if page is None:
             raise EngineError(f"page {page_id} does not exist")
-        if page.kind is PageKind.DATA:
-            self.stats.logical_data += 1
-        else:
-            self.stats.logical_index += 1
-        if self._c_writes is not None:
-            self._c_logical[page.kind].inc()
+        self._count_logical(page.kind)
         frame = self._frames.get(page_id)
         if frame is None:
             if page.kind is PageKind.DATA:
@@ -223,6 +269,14 @@ class BufferPool:
             frame.pins += 1
         return page
 
+    def _count_logical(self, kind: PageKind) -> None:
+        if kind is PageKind.DATA:
+            self.stats.logical_data += 1
+        else:
+            self.stats.logical_index += 1
+        if self._c_writes is not None:
+            self._c_logical[kind].inc()
+
     def unpin(self, page_id: int) -> None:
         frame = self._frames.get(page_id)
         if frame is not None and frame.pins > 0:
@@ -233,6 +287,15 @@ class BufferPool:
         frame = self._frames.get(page_id)
         if frame is not None:
             frame.dirty = True
+            if self._store is not None:
+                # Stamp with the current log position: the WAL rule will
+                # flush through this LSN before the page hits disk.
+                frame.page.lsn = self._durability.current_lsn
+        elif self._store is not None:
+            # In disk mode a mutation to a non-resident page would be
+            # silently lost — fail fast (callers pin across the window
+            # between read and mark_dirty).
+            raise EngineError(f"mark_dirty of non-resident page {page_id}")
         self.stats.writes += 1
         if self._c_writes is not None:
             self._c_writes.inc()
@@ -245,9 +308,21 @@ class BufferPool:
         is an experiment control, not capacity pressure."""
         for frame in self._frames.values():
             if frame.dirty:
+                if self._store is not None:
+                    self._writeback(frame.page)
                 self._record_writeback()
         self._frames.clear()
         self._sync_resident_gauge()
+
+    def write_back_all(self) -> None:
+        """Write every dirty frame to the store without dropping it
+        (checkpoint: the pool stays warm, the disk becomes current)."""
+        if self._store is None:
+            return
+        for frame in self._frames.values():
+            if frame.dirty:
+                self._writeback(frame.page)
+                frame.dirty = False
 
     def resize(self, capacity_pages: int) -> None:
         """Shrink/grow the pool; used when DDL changes the meta-data
@@ -265,8 +340,47 @@ class BufferPool:
     def resident_pages(self) -> int:
         return len(self._frames)
 
+    @property
+    def next_page_id(self) -> int:
+        return self._next_page_id
+
+    @next_page_id.setter
+    def next_page_id(self, value: int) -> None:
+        self._next_page_id = value
+
+    @property
+    def durable(self) -> bool:
+        """True when the pool is backed by a real on-disk page store."""
+        return self._store is not None
+
+    def pages_in_segment(self, segment_id: int) -> set[int]:
+        """All page ids a segment currently owns (on disk or frame-only)."""
+        if self._store is not None:
+            pids = set(self._store.pages_in_segment(segment_id))
+            pids.update(
+                pid
+                for pid, frame in self._frames.items()
+                if frame.page.segment_id == segment_id
+            )
+            return pids
+        return {
+            pid for pid, p in self._disk.items() if p.segment_id == segment_id
+        }
+
     def resident_ratio(self, segment_ids: set[int]) -> float:
         """Fraction of a segment set's pages currently resident."""
+        if self._store is not None:
+            total_pids: set[int] = set()
+            for segment_id in segment_ids:
+                total_pids |= self.pages_in_segment(segment_id)
+            if not total_pids:
+                return 1.0
+            resident = sum(
+                1
+                for pid, frame in self._frames.items()
+                if frame.page.segment_id in segment_ids
+            )
+            return resident / len(total_pids)
         total = sum(1 for p in self._disk.values() if p.segment_id in segment_ids)
         if total == 0:
             return 1.0
@@ -292,6 +406,12 @@ class BufferPool:
         if self._c_writes is not None:
             self._c_writebacks.inc()
 
+    def _writeback(self, page: Page) -> None:
+        """Persist one dirty page, honoring the WAL rule first."""
+        if self._durability is not None:
+            self._durability.before_page_write(page)
+        self._store.write(page, page.lsn)
+
     def _evict_to_capacity(self, *, resize: bool = False) -> None:
         while len(self._frames) > self.capacity_pages:
             victim_id = None
@@ -306,6 +426,8 @@ class BufferPool:
                 return
             del self._frames[victim_id]
             if victim.dirty:
+                if self._store is not None:
+                    self._writeback(victim.page)
                 self._record_writeback()
             if resize:
                 self.stats.resize_evictions += 1

@@ -47,13 +47,26 @@ class _UpdateEntry:
 
 
 class TransactionManager:
-    """Undo-log bookkeeping for one database."""
+    """Undo-log bookkeeping for one database.
 
-    def __init__(self, *, metrics=None) -> None:
+    With a :class:`~repro.engine.durability.manager.DurabilityManager`
+    attached, every recorded change additionally emits a logical redo
+    record to the WAL.  Transaction ids are allocated lazily on the
+    first logged write (read-only transactions never touch the log);
+    statements outside an explicit BEGIN form implicit autocommit
+    transactions whose commit terminal is emitted by
+    :meth:`end_statement`.
+    """
+
+    def __init__(self, *, metrics=None, durability=None) -> None:
         self._log: list[object] | None = None
         self.committed = 0
         self.rolled_back = 0
         self._metrics = metrics
+        self._durability = durability
+        #: WAL transaction id of the current (explicit or implicit)
+        #: transaction; None until it logs its first write.
+        self._txid: int | None = None
 
     @property
     def active(self) -> bool:
@@ -72,6 +85,7 @@ class TransactionManager:
         if not self.active:
             raise EngineError("no open transaction to commit")
         self._log = None
+        self._emit_commit()
         self.committed += 1
         if self._metrics is not None:
             self._metrics.counter("txn.committed").inc()
@@ -92,31 +106,134 @@ class TransactionManager:
         def resolve(table: "Table", rid: RowId) -> RowId:
             return remap.get((id(table), rid), rid)
 
+        # Each inverse operation is WAL-logged as a compensation record
+        # under the same transaction id, followed by a rollback
+        # terminal: recovery replays the forward records *and* the
+        # compensation, netting out to nothing while keeping the RID
+        # remap coherent (the CLR idea from ARIES).
         for entry in reversed(log):
             if isinstance(entry, _InsertEntry):
-                entry.table.delete_row(resolve(entry.table, entry.rid))
+                rid = resolve(entry.table, entry.rid)
+                row = entry.table.delete_row(rid)
+                self._emit(
+                    "del",
+                    entry.table,
+                    rid=(rid.page_id, rid.slot),
+                    row=row,
+                )
             elif isinstance(entry, _DeleteEntry):
                 new_rid = entry.table.insert_row(entry.row)
                 remap[(id(entry.table), entry.rid)] = new_rid
+                self._emit(
+                    "ins",
+                    entry.table,
+                    rid=(new_rid.page_id, new_rid.slot),
+                    row=entry.row,
+                )
             elif isinstance(entry, _UpdateEntry):
                 current = resolve(entry.table, entry.new_rid)
                 restored = entry.table.update_row(current, entry.old_row)
                 if restored != entry.old_rid:
                     remap[(id(entry.table), entry.old_rid)] = restored
+                self._emit(
+                    "upd",
+                    entry.table,
+                    rid=(current.page_id, current.slot),
+                    row=None,
+                    new_rid=(restored.page_id, restored.slot),
+                    new_row=entry.old_row,
+                )
+        self._emit_rollback()
         self.rolled_back += 1
 
-    # -- recording (no-ops outside a transaction) -------------------------------
+    def end_statement(self) -> None:
+        """Statement boundary: commit the implicit autocommit
+        transaction, if one logged anything."""
+        if self.active:
+            return  # inside an explicit transaction: nothing ends yet
+        self._emit_commit()
 
-    def record_insert(self, table: "Table", rid: RowId) -> None:
+    # -- recording ---------------------------------------------------------
+    #
+    # Undo entries are only kept inside an explicit transaction; the WAL
+    # redo record is emitted unconditionally (autocommit statements must
+    # be durable too).
+
+    def record_insert(self, table: "Table", rid: RowId, row: tuple) -> None:
         if self._log is not None:
             self._log.append(_InsertEntry(table, rid))
+        self._emit("ins", table, rid=(rid.page_id, rid.slot), row=row)
 
     def record_delete(self, table: "Table", rid: RowId, row: tuple) -> None:
         if self._log is not None:
             self._log.append(_DeleteEntry(table, rid, row))
+        self._emit("del", table, rid=(rid.page_id, rid.slot), row=row)
 
     def record_update(
-        self, table: "Table", old_rid: RowId, old_row: tuple, new_rid: RowId
+        self,
+        table: "Table",
+        old_rid: RowId,
+        old_row: tuple,
+        new_rid: RowId,
+        new_row: tuple,
     ) -> None:
         if self._log is not None:
             self._log.append(_UpdateEntry(table, old_rid, old_row, new_rid))
+        self._emit(
+            "upd",
+            table,
+            rid=(old_rid.page_id, old_rid.slot),
+            row=old_row,
+            new_rid=(new_rid.page_id, new_rid.slot),
+            new_row=new_row,
+        )
+
+    # -- WAL plumbing ------------------------------------------------------
+
+    def _emit(self, kind: str, table: "Table", **fields) -> None:
+        durability = self._durability
+        if durability is None or durability.replaying:
+            return
+        if self._txid is None:
+            self._txid = durability.allocate_txid()
+        durability.log(
+            {"t": kind, "tx": self._txid, "table": table.name, **fields}
+        )
+
+    def _emit_commit(self) -> None:
+        if self._txid is not None:
+            self._durability.log_commit(self._txid)
+            self._txid = None
+
+    def _emit_rollback(self) -> None:
+        if self._txid is not None:
+            self._durability.log_rollback(self._txid)
+            self._txid = None
+
+    # -- checkpoint support ------------------------------------------------
+
+    def serialize_active(self) -> dict | None:
+        """The open transaction's id and undo log in a picklable form
+        (fuzzy checkpoints snapshot mid-transaction state)."""
+        if self._log is None:
+            return None
+        entries: list[tuple] = []
+        for entry in self._log:
+            if isinstance(entry, _InsertEntry):
+                entries.append(
+                    ("ins", entry.table.name,
+                     (entry.rid.page_id, entry.rid.slot))
+                )
+            elif isinstance(entry, _DeleteEntry):
+                entries.append(
+                    ("del", entry.table.name,
+                     (entry.rid.page_id, entry.rid.slot), entry.row)
+                )
+            elif isinstance(entry, _UpdateEntry):
+                entries.append(
+                    ("upd", entry.table.name,
+                     (entry.old_rid.page_id, entry.old_rid.slot),
+                     entry.old_row,
+                     (entry.new_rid.page_id, entry.new_rid.slot))
+                )
+        return {"tx": self._txid, "entries": entries}

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from ..core.api import MultiTenantDatabase
 from ..core.schema import LogicalColumn, LogicalTable
 from ..engine.database import Database
+from ..engine.durability import DurabilityOptions
 from ..engine.values import DATE, INTEGER, varchar
 from ..testbed.simtime import CostModel
 
@@ -93,6 +94,13 @@ class ChunkQueryConfig:
     data_columns: int = 90
     memory_bytes: int = 24 * 1024 * 1024
     seed: int = 2008
+    #: Directory for a disk-backed engine (WAL + page segments); cold
+    #: measurements then pay real file reads instead of simulated ones.
+    #: ``None`` keeps the historical all-in-memory engine.
+    db_path: str | None = None
+    #: WAL group-commit batch used in disk-backed mode: the loader is
+    #: autocommit-heavy, so batching fsyncs keeps loading tractable.
+    group_commit: int = 64
 
 
 @dataclass
@@ -134,11 +142,12 @@ class ChunkQueryExperiment:
             if layout == "chunk"
             else layout
         )
-        self.mtd = MultiTenantDatabase(
-            layout=layout,
-            db=Database(memory_bytes=self.config.memory_bytes),
-            **options,
+        db = Database(
+            memory_bytes=self.config.memory_bytes,
+            path=self.config.db_path,
+            durability=DurabilityOptions(group_commit=self.config.group_commit),
         )
+        self.mtd = MultiTenantDatabase(layout=layout, db=db, **options)
         self.cost_model = CostModel()
         self._loaded = False
 

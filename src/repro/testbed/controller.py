@@ -48,6 +48,10 @@ class TestbedConfig:
     ramp_up_fraction: float = 0.1
     cost_model: CostModel = field(default_factory=CostModel)
     layout_options: dict = field(default_factory=dict)
+    #: When set, the System Under Test runs on a disk-backed engine
+    #: rooted at this directory (WAL + page segments), so testbed runs
+    #: can crash and recover; ``None`` keeps the all-in-memory engine.
+    db_path: str | None = None
 
 
 class Controller:
@@ -102,7 +106,7 @@ class Testbed:
     def setup(self) -> MultiTenantDatabase:
         """Create schema instances, tenants, and load synthetic data."""
         config = self.config
-        db = Database(memory_bytes=config.memory_bytes)
+        db = Database(memory_bytes=config.memory_bytes, path=config.db_path)
         mtd = MultiTenantDatabase(
             layout=config.layout, db=db, **config.layout_options
         )

@@ -3,6 +3,14 @@ migrations, and empty tenants."""
 
 import pytest
 
+from repro import MultiTenantDatabase
+from repro.engine.database import Database
+from repro.engine.durability import (
+    DurabilityOptions,
+    FaultInjector,
+    SimulatedCrash,
+)
+
 from .conftest import build_running_example
 
 
@@ -58,3 +66,61 @@ class TestMigrationEdgeCases:
         second = mtd.insert(17, "account", {"aid": 51, "name": "y"})
         assert second == first + 1
         assert first >= 2
+
+
+class TestAdminCrashAtomicity:
+    """Administrative operations must be all-or-nothing under a crash.
+
+    The nastiest window is mid-``migrate_tenant`` after the source
+    fragments were purged, and mid-``drop_tenant`` between per-table
+    deletes: without the WAL's admin-operation brackets, either crash
+    would destroy tenant data.  Recovery discards the incomplete
+    operation wholesale, so the tenant reappears intact on its original
+    layout.
+    """
+
+    @staticmethod
+    def _durable_example(path, crash_at):
+        db = Database(
+            path=str(path),
+            durability=DurabilityOptions(
+                faults=FaultInjector(crash_at=crash_at)
+            ),
+        )
+        return build_running_example("chunk", db=db)
+
+    @staticmethod
+    def _account_rows(mtd, tenant_id):
+        return sorted(
+            mtd.execute(tenant_id, "SELECT aid, name FROM account").rows
+        )
+
+    def test_crash_mid_migration_leaves_source_intact(self, tmp_path):
+        mtd = self._durable_example(tmp_path, ("migrate.after_purge", 1))
+        before = self._account_rows(mtd, 17)
+        with pytest.raises(SimulatedCrash):
+            mtd.migrate_tenant(17, "private")
+        del mtd
+        recovered = MultiTenantDatabase.recover(Database(path=str(tmp_path)))
+        assert recovered.layout_for(17) is recovered.layout  # no override
+        assert self._account_rows(recovered, 17) == before
+        # The aborted migration left no half-moved state behind: the
+        # tenant is fully operational, including a real migration.
+        recovered.insert(17, "account", {"aid": 60, "name": "after"})
+        recovered.migrate_tenant(17, "private")
+        assert (60, "after") in self._account_rows(recovered, 17)
+        recovered.db.close()
+
+    def test_crash_mid_drop_leaves_tenant_intact(self, tmp_path):
+        mtd = self._durable_example(tmp_path, ("drop_tenant.table", 1))
+        before = self._account_rows(mtd, 17)
+        with pytest.raises(SimulatedCrash):
+            mtd.drop_tenant(17)
+        del mtd
+        recovered = MultiTenantDatabase.recover(Database(path=str(tmp_path)))
+        assert {t.tenant_id for t in recovered.schema.tenants()} == {17, 35, 42}
+        assert self._account_rows(recovered, 17) == before
+        # Dropping again (no crash armed now) completes cleanly.
+        recovered.drop_tenant(17)
+        assert {t.tenant_id for t in recovered.schema.tenants()} == {35, 42}
+        recovered.db.close()

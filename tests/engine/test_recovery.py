@@ -1,0 +1,460 @@
+"""Durability subsystem: WAL replay, checkpoints, fault injection.
+
+Deterministic cases first (reopen, losers, rollback replay, fuzzy
+checkpoints, DDL, torn page writes, short fsyncs, group commit, the
+seeded skip-wal-flush mutation), then the crashpoint × layout property
+test: kill the engine at every named crashpoint of a multi-tenant
+workload, recover, and check that completed operations survived and the
+in-flight operation vanished without a trace — for all seven layouts.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import (
+    Extension,
+    LogicalColumn,
+    LogicalTable,
+    MultiTenantDatabase,
+)
+from repro.engine.database import Database
+from repro.engine.durability import (
+    DurabilityOptions,
+    FaultInjector,
+    SimulatedCrash,
+)
+from repro.engine.values import INTEGER, varchar
+
+
+def build(path, **options) -> Database:
+    return Database(path=str(path), durability=DurabilityOptions(**options))
+
+
+def seed_rows(db: Database, count: int = 8) -> None:
+    db.execute("CREATE TABLE t (id INTEGER NOT NULL, name VARCHAR(30))")
+    db.execute("CREATE INDEX t_id ON t (id)")
+    for i in range(count):
+        db.execute("INSERT INTO t VALUES (?, ?)", [i, f"name{i}"])
+
+
+def ids(db: Database) -> list[int]:
+    return [r[0] for r in db.execute("SELECT id FROM t ORDER BY id").rows]
+
+
+class TestReopen:
+    def test_clean_close_preserves_all_dml(self, tmp_path):
+        db = build(tmp_path)
+        seed_rows(db)
+        db.execute("UPDATE t SET name = 'renamed' WHERE id = 2")
+        db.execute("DELETE FROM t WHERE id = 3")
+        db.close()
+        db2 = build(tmp_path)
+        assert ids(db2) == [0, 1, 2, 4, 5, 6, 7]
+        assert db2.execute("SELECT name FROM t WHERE id = 2").scalar() == "renamed"
+        db2.close()
+
+    def test_crash_without_close_preserves_committed_data(self, tmp_path):
+        db = build(tmp_path)
+        seed_rows(db)
+        del db  # no close(), no checkpoint: recovery runs from the WAL
+        db2 = build(tmp_path)
+        assert ids(db2) == list(range(8))
+        assert db2.durability.recovery_info["records_replayed"] > 0
+        db2.close()
+
+    def test_uncommitted_transaction_absent_after_crash(self, tmp_path):
+        db = build(tmp_path)
+        seed_rows(db)
+        db.transactions.begin()
+        db.execute("INSERT INTO t VALUES (100, 'phantom')")
+        db.execute("UPDATE t SET name = 'phantom' WHERE id = 1")
+        # Force the uncommitted records to disk so recovery actually
+        # sees (and must discard) the loser transaction.
+        db.durability.wal.flush()
+        del db
+        db2 = build(tmp_path)
+        assert ids(db2) == list(range(8))
+        assert db2.execute("SELECT name FROM t WHERE id = 1").scalar() == "name1"
+        assert db2.durability.recovery_info["losers"] == 1
+        db2.close()
+
+    def test_rolled_back_transaction_stays_rolled_back(self, tmp_path):
+        """Forward records + the rollback terminal replay to nothing."""
+        db = build(tmp_path)
+        seed_rows(db)
+        db.transactions.begin()
+        db.execute("INSERT INTO t VALUES (100, 'undone')")
+        db.execute("DELETE FROM t WHERE id = 0")
+        db.transactions.rollback()
+        db.execute("INSERT INTO t VALUES (8, 'name8')")  # after the rollback
+        del db
+        db2 = build(tmp_path)
+        assert ids(db2) == list(range(9))
+        db2.close()
+
+    def test_recovery_metrics_published(self, tmp_path):
+        db = build(tmp_path)
+        seed_rows(db)
+        del db
+        db2 = build(tmp_path)
+        assert db2.metrics.value("db.recovery.records_replayed") > 0
+        assert db2.metrics.value("db.recovery.ms") >= 0
+        db2.close()
+
+
+class TestCheckpoint:
+    def test_checkpoint_bounds_replay(self, tmp_path):
+        db = build(tmp_path)
+        seed_rows(db)
+        assert db.checkpoint()
+        db.execute("INSERT INTO t VALUES (8, 'name8')")
+        del db
+        db2 = build(tmp_path)
+        info = db2.durability.recovery_info
+        assert info["checkpoint_restored"]
+        assert info["records_scanned"] <= 4  # one insert + its terminal
+        assert ids(db2) == list(range(9))
+        db2.close()
+
+    def test_fuzzy_checkpoint_mid_transaction(self, tmp_path):
+        """A checkpoint inside an open transaction snapshots the undo
+        log; if the transaction never commits, recovery undoes the
+        pre-checkpoint half and discards the post-checkpoint half."""
+        db = build(tmp_path)
+        seed_rows(db)
+        db.transactions.begin()
+        db.execute("INSERT INTO t VALUES (100, 'pre-checkpoint')")
+        assert db.checkpoint()
+        db.execute("INSERT INTO t VALUES (101, 'post-checkpoint')")
+        db.durability.wal.flush()
+        del db
+        db2 = build(tmp_path)
+        assert ids(db2) == list(range(8))
+        db2.close()
+
+    def test_fuzzy_checkpoint_committed_transaction_survives(self, tmp_path):
+        db = build(tmp_path)
+        seed_rows(db)
+        db.transactions.begin()
+        db.execute("INSERT INTO t VALUES (100, 'spans-checkpoint')")
+        assert db.checkpoint()
+        db.execute("INSERT INTO t VALUES (101, 'post')")
+        db.transactions.commit()
+        del db
+        db2 = build(tmp_path)
+        assert ids(db2) == list(range(8)) + [100, 101]
+        db2.close()
+
+    def test_checkpoint_snapshot_does_not_retrigger(self, tmp_path):
+        """The checkpoint head must not count toward the auto-checkpoint
+        trigger: a snapshot larger than the trigger would otherwise
+        force a checkpoint after every statement (quadratic log I/O)."""
+        db = build(tmp_path, auto_checkpoint_bytes=512)
+        seed_rows(db, 40)  # snapshot is now well over the trigger
+        assert db.checkpoint()
+        assert db.durability.wal.bytes_since_checkpoint == 0
+        before = db.metrics.value("db.checkpoint.count")
+        db.execute("INSERT INTO t VALUES (100, 'one')")
+        db.execute("INSERT INTO t VALUES (101, 'two')")
+        assert db.metrics.value("db.checkpoint.count") - before <= 1
+        db.close()
+
+    def test_ddl_survives_crash(self, tmp_path):
+        db = build(tmp_path)
+        seed_rows(db)
+        assert db.checkpoint()
+        db.execute("CREATE TABLE u (k INTEGER, v VARCHAR(10))")
+        db.execute("CREATE INDEX u_k ON u (k)")
+        db.execute("INSERT INTO u VALUES (1, 'a')")
+        db.execute("DROP INDEX t_id ON t")
+        del db
+        db2 = build(tmp_path)
+        assert db2.execute("SELECT v FROM u WHERE k = 1").scalar() == "a"
+        assert not db2.catalog.table("t").indexes
+        assert db2.catalog.table("u").indexes
+        db2.close()
+
+
+class TestFaults:
+    def test_torn_page_write_recovers_committed_data(self, tmp_path):
+        db = build(tmp_path)
+        seed_rows(db)
+        db.durability.faults.torn_page_write = 1  # tear the next frame
+        with pytest.raises(SimulatedCrash):
+            db.checkpoint()
+        del db
+        db2 = build(tmp_path)
+        assert ids(db2) == list(range(8))
+        db2.close()
+
+    def test_short_fsync_keeps_committed_prefix(self, tmp_path):
+        db = build(tmp_path)
+        db.execute("CREATE TABLE t (id INTEGER NOT NULL, name VARCHAR(30))")
+        db.durability.faults.short_fsync = 6
+        written = []
+        with pytest.raises(SimulatedCrash):
+            for i in range(10):
+                db.execute("INSERT INTO t VALUES (?, ?)", [i, f"name{i}"])
+                written.append(i)
+        assert len(written) < 10
+        del db
+        db2 = build(tmp_path)
+        recovered = ids(db2)
+        # The torn flush loses (at most) its own batch, never an
+        # earlier one: recovery keeps a strict prefix of the commits.
+        assert recovered == list(range(len(recovered)))
+        assert len(recovered) >= len(written) - 1
+        db2.close()
+
+    def test_crash_at_named_crashpoint(self, tmp_path):
+        db = build(tmp_path, faults=FaultInjector(crash_at=("txn.commit", 4)))
+        db.execute("CREATE TABLE t (id INTEGER NOT NULL, name VARCHAR(30))")
+        survived = []
+        with pytest.raises(SimulatedCrash):
+            for i in range(10):
+                db.execute("INSERT INTO t VALUES (?, ?)", [i, f"name{i}"])
+                survived.append(i)
+        assert survived  # the crash hit mid-run, not on the first insert
+        del db
+        # The crashing statement died before its commit became durable;
+        # everything that returned successfully must still be there.
+        db2 = build(tmp_path)
+        assert ids(db2) == survived
+        db2.close()
+
+
+class TestWalMetrics:
+    def test_group_commit_batches_fsyncs(self, tmp_path):
+        eager = build(tmp_path / "eager", group_commit=1)
+        seed_rows(eager, 16)
+        eager_fsyncs = eager.metrics.value("db.wal.fsyncs")
+        eager.close()
+        batched = build(tmp_path / "batched", group_commit=8)
+        seed_rows(batched, 16)
+        batched_fsyncs = batched.metrics.value("db.wal.fsyncs")
+        batched.close()
+        assert batched_fsyncs < eager_fsyncs / 2
+        assert batched.metrics.histogram("db.wal.group_commit_batch").max >= 8
+        db2 = build(tmp_path / "batched")
+        assert ids(db2) == list(range(16))
+        db2.close()
+
+    def test_wal_counters_and_trace_deltas(self, tmp_path):
+        db = build(tmp_path)
+        db.execute("CREATE TABLE t (id INTEGER NOT NULL, name VARCHAR(30))")
+        before_records = db.wal_stats.records  # wal_stats is live
+        trace = db.trace("INSERT INTO t VALUES (1, 'traced')")
+        assert trace.wal.records >= 2  # redo record + commit terminal
+        assert trace.wal.bytes_written > 0
+        assert db.wal_stats.records > before_records
+        assert db.metrics.value("db.wal.bytes_written") > 0
+        assert db.metrics.value("db.wal.records") >= 2
+        db.close()
+
+    def test_memory_mode_traces_report_zero_wal(self):
+        db = Database()
+        db.execute("CREATE TABLE t (id INTEGER)")
+        trace = db.trace("INSERT INTO t VALUES (1)")
+        assert trace.wal.records == 0
+        assert trace.wal.bytes_written == 0
+
+    def test_skip_wal_flush_mutation_defeats_durability(self, tmp_path):
+        """The seeded mutation claims records durable without writing
+        them; the durability check MUST then fail — proving the tests
+        actually depend on the WAL doing its job."""
+        db = build(tmp_path, mutate="skip-wal-flush")
+        seed_rows(db)
+        del db
+        db2 = build(tmp_path)
+        try:
+            recovered = ids(db2)
+        except Exception:
+            recovered = None  # the table itself did not survive
+        assert recovered != list(range(8))  # data loss: the check trips
+        db2.close()
+
+
+# ---------------------------------------------------------------------------
+# Crashpoint × layout property test
+# ---------------------------------------------------------------------------
+
+ALL_LAYOUTS = (
+    "private",
+    "basic",
+    "extension",
+    "universal",
+    "pivot",
+    "chunk",
+    "chunk_folding",
+)
+
+
+def _account_table() -> LogicalTable:
+    return LogicalTable(
+        "account",
+        (
+            LogicalColumn("aid", INTEGER, indexed=True, not_null=True),
+            LogicalColumn("name", varchar(30)),
+        ),
+    )
+
+
+def _healthcare() -> Extension:
+    return Extension(
+        "healthcare",
+        "account",
+        (LogicalColumn("beds", INTEGER),),
+    )
+
+
+def _workload(layout: str):
+    """(description, apply, expected-state mutator) triples.
+
+    The expected state maps tenant -> {aid: name} and is only advanced
+    when an operation COMPLETES: after a crash, the recovered database
+    must match it — give or take the single in-flight operation, which
+    may have finished internally before its crashpoint fired.
+    """
+    extensions = layout != "basic"
+    steps = []
+
+    def op(description, apply, mutate):
+        steps.append((description, apply, mutate))
+
+    for i in range(3):
+        op(
+            f"insert t1 a{i}",
+            lambda m, i=i: m.insert(1, "account", {"aid": i, "name": f"a{i}"}),
+            lambda s, i=i: s[1].__setitem__(i, f"a{i}"),
+        )
+    for i in range(2):
+        op(
+            f"insert t2 b{i}",
+            lambda m, i=i: m.insert(2, "account", {"aid": i, "name": f"b{i}"}),
+            lambda s, i=i: s[2].__setitem__(i, f"b{i}"),
+        )
+    op(
+        "update t1 a1",
+        lambda m: m.execute(1, "UPDATE account SET name = 'a1x' WHERE aid = 1"),
+        lambda s: s[1].__setitem__(1, "a1x"),
+    )
+    op(
+        "delete t2 b0",
+        lambda m: m.execute(2, "DELETE FROM account WHERE aid = 0"),
+        lambda s: s[2].pop(0),
+    )
+    if extensions:
+        op(
+            "grant healthcare to t2",
+            lambda m: m.grant_extension(2, "healthcare"),
+            lambda s: None,
+        )
+        op(
+            "insert t2 extended",
+            lambda m: m.insert(2, "account", {"aid": 9, "name": "b9", "beds": 12}),
+            lambda s: s[2].__setitem__(9, "b9"),
+        )
+    op(
+        "migrate t1",
+        lambda m: m.migrate_tenant(
+            1, "universal" if layout != "universal" else "extension"
+        ),
+        lambda s: None,
+    )
+    op(
+        "drop t2",
+        lambda m: m.drop_tenant(2),
+        lambda s: s.pop(2),
+    )
+    return steps
+
+
+def _build_mtd(db: Database, layout: str) -> MultiTenantDatabase:
+    options = {"width": 3} if layout in ("chunk", "chunk_folding") else {}
+    mtd = MultiTenantDatabase(layout=layout, db=db, **options)
+    mtd.define_table(_account_table())
+    if layout != "basic":
+        mtd.define_extension(_healthcare())
+    mtd.create_tenant(1)
+    mtd.create_tenant(2)
+    return mtd
+
+
+def _verify(mtd: MultiTenantDatabase, expected: dict) -> None:
+    live = {c.tenant_id for c in mtd.schema.tenants()}
+    assert live == set(expected)
+    for tenant_id, rows in expected.items():
+        got = dict(mtd.execute(tenant_id, "SELECT aid, name FROM account").rows)
+        assert got == rows, f"tenant {tenant_id}: {got} != {rows}"
+
+
+def _crashpoint_schedule(tmp_path, layout: str) -> list[int]:
+    """Enumerate the crashpoint hits of the full workload (an unarmed
+    injector only counts) and pick the first hit of every distinct
+    crashpoint name, the final hit, and a few seeded extras — covering
+    every crashpoint kind without running the full O(hits) matrix."""
+    faults = FaultInjector()
+    sequence: list[str] = []
+    original = faults.crashpoint
+    faults.crashpoint = lambda name: (sequence.append(name), original(name))[1]
+    db = Database(
+        path=str(tmp_path / "enumerate"),
+        durability=DurabilityOptions(faults=faults),
+    )
+    mtd = _build_mtd(db, layout)
+    baseline = len(sequence)
+    for _description, apply, _mutate in _workload(layout):
+        apply(mtd)
+    total = len(sequence) - baseline  # before close(): the armed runs
+    db.close()  # never reach close-time crashpoints
+    first_of: dict[str, int] = {}
+    for index, name in enumerate(sequence[baseline : baseline + total], start=1):
+        first_of.setdefault(name, index)
+    hits = set(first_of.values()) | {total}
+    rng = random.Random(f"recovery-{layout}")
+    extra = [h for h in range(1, total + 1) if h not in hits]
+    hits |= set(rng.sample(extra, min(3, len(extra))))
+    return sorted(hits)
+
+
+@pytest.mark.parametrize("layout", ALL_LAYOUTS)
+def test_crashpoint_matrix(tmp_path, layout):
+    schedule = _crashpoint_schedule(tmp_path, layout)
+    assert schedule, "the workload must cross crashpoints"
+    for hit in schedule:
+        path = tmp_path / f"crash-{hit}"
+        faults = FaultInjector()
+        db = Database(path=str(path), durability=DurabilityOptions(faults=faults))
+        mtd = _build_mtd(db, layout)
+        expected: dict = {1: {}, 2: {}}
+        states = [{t: dict(rows) for t, rows in expected.items()}]
+        faults.crash_after = faults.hits + hit  # arm past the setup
+        crashed = False
+        for _description, apply, mutate in _workload(layout):
+            try:
+                apply(mtd)
+            except SimulatedCrash:
+                crashed = True
+                break
+            mutate(expected)
+            states.append({t: dict(rows) for t, rows in expected.items()})
+        if not crashed:
+            db.close()
+        db2 = Database(path=str(path))
+        mtd2 = MultiTenantDatabase.recover(db2)
+        try:
+            _verify(mtd2, states[-1])
+        except AssertionError:
+            if not crashed:
+                raise
+            # Crashpoints normally fire before the durability-
+            # establishing action, but auto-checkpoint points fire
+            # after the statement completed — then the in-flight
+            # operation IS durable and the next state is the legal one.
+            follow_up = _workload(layout)[len(states) - 1][2]
+            follow_up(expected)
+            _verify(mtd2, expected)
+        db2.close()
