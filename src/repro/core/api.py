@@ -69,10 +69,13 @@ class MultiTenantDatabase:
         predicate_order: PredicateOrder = PredicateOrder.ORIGINAL_FIRST,
         update_mode: UpdateMode = UpdateMode.BUFFERED,
         statement_cache_size: int = 256,
+        execution: str | None = None,
         _replay: bool = False,
         **layout_options,
     ) -> None:
         self.db = db if db is not None else Database()
+        if execution is not None:
+            self.db.execution = execution
         self.schema = MultiTenantSchema()
         #: True while :meth:`recover` replays logged admin operations:
         #: suppresses admin-op WAL brackets (the ops are already in the
@@ -326,11 +329,25 @@ class MultiTenantDatabase:
     def _physical_lookup(self, table_name: str) -> list[str]:
         return [c.lname for c in self.db.catalog.table(table_name).columns]
 
+    @property
+    def execution(self) -> str:
+        """The engine's execution mode (``"vectorized"`` / ``"tuple"``)."""
+        return self.db.execution
+
+    @execution.setter
+    def execution(self, mode: str) -> None:
+        self.db.execution = mode
+
     def _statement_context(self) -> tuple:
         """Everything besides (sql, layout, shape) that shapes the
         transformed statement; a cached entry built under a different
         context is rebuilt."""
-        return (self.db.profile, self.flatten_for_simple, self.predicate_order)
+        return (
+            self.db.profile,
+            self.db.execution,
+            self.flatten_for_simple,
+            self.predicate_order,
+        )
 
     def _cached_select(
         self, tenant_id: int, sql: str, stmt: ast.Select, layout: Layout

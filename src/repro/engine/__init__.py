@@ -23,7 +23,7 @@ from .errors import (  # noqa: F401
     UniqueViolation,
     UnknownObjectError,
 )
-from .executor import ExecStats  # noqa: F401
+from .executor import ExecStats, Executor  # noqa: F401
 from .explain import count_operators, plan_shape, render_plan  # noqa: F401
 from .heap import InsertStrategy, RowId  # noqa: F401
 from .locks import LockStats, LockTable  # noqa: F401
@@ -39,6 +39,7 @@ from .observability import (  # noqa: F401
 )
 from .optimizer import OptimizerProfile, Planner  # noqa: F401
 from .pager import DEFAULT_PAGE_SIZE, BufferPool, PageKind, PoolStats  # noqa: F401
+from .vexecutor import BATCH_ROWS, VectorizedExecutor  # noqa: F401
 from .values import (  # noqa: F401
     BIGINT,
     BOOLEAN,

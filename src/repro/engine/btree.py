@@ -36,6 +36,17 @@ def _key_order(key: tuple) -> tuple:
     return tuple(sort_key(v) for v in key)
 
 
+def _head_matches(key: tuple, prefix: tuple) -> bool:
+    """Whether ``key``'s leading columns equal ``prefix`` under
+    ``sort_key`` semantics, without building decorated tuples: raw
+    equality plus a bool/number guard (``sort_key`` segregates bools
+    from numbers; raw ``==`` treats ``False == 0``)."""
+    for a, b in zip(key, prefix):
+        if a != b or (isinstance(a, bool) != isinstance(b, bool)):
+            return False
+    return True
+
+
 def _value_width(value: object) -> int:
     """Byte width of a key column value (schema widths are unknown here,
     so we charge the value's natural storage width)."""
@@ -97,6 +108,10 @@ class BTreeIndex:
         # (approximate at leaf boundaries).  Drives the optimizer's
         # rows-per-prefix selectivity estimates.
         self._prefix_distinct: list[int] = []
+        # key tuple -> decorated sort order.  ``_key_order`` is a pure
+        # function of the key, so the memo never goes stale; it is the
+        # in-memory stand-in for storing normalized keys on the page.
+        self._order_cache: dict[tuple, tuple] = {}
         root = pool.allocate(segment_id, PageKind.INDEX)
         root.payload = _Leaf()
         self._root_id = root.page_id
@@ -135,6 +150,7 @@ class BTreeIndex:
         index.deletes = 0
         index._metrics = metrics
         index._prefix_distinct = list(prefix_distinct)
+        index._order_cache = {}
         index._root_id = root_id
         index.height = height
         return index
@@ -151,6 +167,20 @@ class BTreeIndex:
         setattr(self, attribute, getattr(self, attribute) + 1)
         if self._metrics is not None:
             self._metrics.counter(metric).inc()
+
+    def _order(self, key: tuple) -> tuple:
+        """Memoized ``_key_order``.  Binary searches probe O(log n) keys
+        per lookup and every probe used to decorate the key from
+        scratch; hashing the tuple is far cheaper than re-running
+        ``sort_key`` per column.  Bounded by the distinct keys touched
+        (with a clear-out safety valve against probe-key churn)."""
+        cache = self._order_cache
+        order = cache.get(key)
+        if order is None:
+            if len(cache) > 4 * self.entry_count + 1024:
+                cache.clear()
+            order = cache[key] = _key_order(key)
+        return order
 
     # -- sizing ---------------------------------------------------------
 
@@ -189,14 +219,19 @@ class BTreeIndex:
         self._count("descents", "btree.descents")
         path = [self._root_id]
         node = self._pool.read(self._root_id).payload
-        order = _key_order(key)
+        order = self._order(key)
         while isinstance(node, _Internal):
-            idx = 0
-            while idx < len(node.separators) and _key_order(
-                node.separators[idx]
-            ) <= order:
-                idx += 1
-            child = node.children[idx]
+            # First child whose separator exceeds the key (binary search:
+            # internal nodes hold hundreds of separators).
+            separators = node.separators
+            lo, hi = 0, len(separators)
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if self._order(separators[mid]) <= order:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            child = node.children[lo]
             path.append(child)
             node = self._pool.read(child).payload
         return path, node
@@ -205,10 +240,10 @@ class BTreeIndex:
         """Exact-match lookup; [] when absent."""
         self._count("searches", "btree.searches")
         _, leaf = self._descend(key)
-        order = _key_order(key)
-        for k, rids in zip(leaf.keys, leaf.rid_lists):
-            if _key_order(k) == order:
-                return list(rids)
+        order = self._order(key)
+        idx = self._position(leaf.keys, order)
+        if idx < len(leaf.keys) and self._order(leaf.keys[idx]) == order:
+            return list(leaf.rid_lists[idx])
         return []
 
     def scan_prefix(self, prefix: tuple) -> Iterator[tuple[tuple, RowId]]:
@@ -216,21 +251,31 @@ class BTreeIndex:
         ``prefix``, in key order.  An empty prefix scans everything."""
         self._count("prefix_scans", "btree.prefix_scans")
         n = len(prefix)
-        prefix_order = _key_order(prefix)
-        if n:
-            path, leaf = self._descend(prefix)
-            page_id: int | None = path[-1]
-        else:
-            page_id = self._leftmost_leaf()
+        if not n:
+            page_id: int | None = self._leftmost_leaf()
             leaf = self._pool.read(page_id).payload
+            while page_id is not None:
+                for key, rids in zip(list(leaf.keys), list(leaf.rid_lists)):
+                    for rid in rids:
+                        yield key, rid
+                page_id = leaf.next_page
+                if page_id is not None:
+                    leaf = self._pool.read(page_id).payload
+            return
+        prefix_order = self._order(prefix)
+        path, leaf = self._descend(prefix)
+        page_id = path[-1]
         while page_id is not None:
-            for key, rids in zip(list(leaf.keys), list(leaf.rid_lists)):
-                head = _key_order(key[:n])
-                if n and head < prefix_order:
-                    continue
-                if n and head > prefix_order:
+            keys = list(leaf.keys)
+            rid_lists = list(leaf.rid_lists)
+            # Matching entries are contiguous: binary-search the start,
+            # then a cheap per-entry head check — no decorated tuples
+            # per entry (the historical hot spot of every index lookup).
+            for i in range(self._position(keys, prefix_order), len(keys)):
+                key = keys[i]
+                if not _head_matches(key, prefix):
                     return
-                for rid in rids:
+                for rid in rid_lists[i]:
                     yield key, rid
             page_id = leaf.next_page
             if page_id is not None:
@@ -247,17 +292,37 @@ class BTreeIndex:
         else:
             page_id = self._leftmost_leaf()
             leaf = self._pool.read(page_id).payload
-        low_order = _key_order(low) if low else None
-        high_order = _key_order(high) if high else None
+        low_order = self._order(low) if low else None
+        high_order = self._order(high) if high else None
+        hn = len(high_order) if high_order is not None else 0
         while page_id is not None:
-            for key, rids in zip(list(leaf.keys), list(leaf.rid_lists)):
-                order = _key_order(key)
-                if low_order is not None and order[: len(low_order)] < low_order:
-                    continue
-                if high_order is not None and order[: len(high_order)] > high_order:
-                    return
-                for rid in rids:
+            keys = list(leaf.keys)
+            rid_lists = list(leaf.rid_lists)
+            # The in-range entries are one contiguous run per leaf
+            # (key-prefix comparisons are monotone in key order), so
+            # binary-search both boundaries instead of decorating every
+            # entry.
+            start = (
+                self._position(keys, low_order)
+                if low_order is not None
+                else 0
+            )
+            end = len(keys)
+            if high_order is not None:
+                lo, hi = start, len(keys)
+                while lo < hi:
+                    mid = (lo + hi) // 2
+                    if self._order(keys[mid])[:hn] > high_order:
+                        hi = mid
+                    else:
+                        lo = mid + 1
+                end = lo
+            for i in range(start, end):
+                key = keys[i]
+                for rid in rid_lists[i]:
                     yield key, rid
+            if end < len(keys):
+                return
             page_id = leaf.next_page
             if page_id is not None:
                 leaf = self._pool.read(page_id).payload
@@ -276,9 +341,9 @@ class BTreeIndex:
         self._count("inserts", "btree.inserts")
         path, leaf = self._descend(key)
         leaf_id = path[-1]
-        order = _key_order(key)
+        order = self._order(key)
         idx = self._position(leaf.keys, order)
-        if idx < len(leaf.keys) and _key_order(leaf.keys[idx]) == order:
+        if idx < len(leaf.keys) and self._order(leaf.keys[idx]) == order:
             if self.unique:
                 raise UniqueViolation(f"duplicate key {key!r}")
             leaf.rid_lists[idx].append(rid)
@@ -298,9 +363,9 @@ class BTreeIndex:
         self._count("deletes", "btree.deletes")
         path, leaf = self._descend(key)
         leaf_id = path[-1]
-        order = _key_order(key)
+        order = self._order(key)
         idx = self._position(leaf.keys, order)
-        if idx >= len(leaf.keys) or _key_order(leaf.keys[idx]) != order:
+        if idx >= len(leaf.keys) or self._order(leaf.keys[idx]) != order:
             return False
         rids = leaf.rid_lists[idx]
         if rid not in rids:
@@ -353,12 +418,11 @@ class BTreeIndex:
             return max(1, self.distinct_keys)
         return max(1, self._prefix_distinct[length - 1])
 
-    @staticmethod
-    def _position(keys: list[tuple], order: tuple) -> int:
+    def _position(self, keys: list[tuple], order: tuple) -> int:
         lo, hi = 0, len(keys)
         while lo < hi:
             mid = (lo + hi) // 2
-            if _key_order(keys[mid]) < order:
+            if self._order(keys[mid]) < order:
                 lo = mid + 1
             else:
                 hi = mid

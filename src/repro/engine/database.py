@@ -47,6 +47,7 @@ from .sql.parser import parse_statement
 from .statement_cache import LruCache, PREPARABLE, PreparedStatement
 from .transactions import TransactionManager
 from .values import parse_type
+from .vexecutor import BATCH_ROWS, VectorizedExecutor
 
 #: Default server memory budget. The paper's server had 1 GB; the
 #: default here is scaled down with the default workloads (Section 2 of
@@ -95,6 +96,8 @@ class Database:
         plan_cache_size: int = 256,
         path: str | None = None,
         durability: DurabilityOptions | None = None,
+        execution: str = "vectorized",
+        batch_rows: int = BATCH_ROWS,
     ) -> None:
         self.memory_bytes = memory_bytes
         self.page_size = page_size
@@ -130,7 +133,18 @@ class Database:
             metrics=self.metrics, durability=self.durability
         )
         self._planner = Planner(self.catalog, profile, self._execute_subquery)
-        self._executor = Executor(self.catalog)
+        #: Both engines share one ExecStats, so counters stay cumulative
+        #: across engine switches and ``exec_stats`` has a single truth.
+        shared_stats = ExecStats()
+        self._tuple_executor = Executor(self.catalog, shared_stats)
+        self._vector_executor = VectorizedExecutor(
+            self.catalog,
+            shared_stats,
+            batch_rows=batch_rows,
+            metrics=self.metrics,
+        )
+        self._executor: Executor | VectorizedExecutor
+        self.execution = execution
         #: Prepared statements keyed by SQL text; ``plan_cache_size=0``
         #: disables caching (every statement parses and plans afresh).
         self._statements = LruCache(
@@ -153,6 +167,31 @@ class Database:
     @profile.setter
     def profile(self, profile: OptimizerProfile) -> None:
         self._planner.profile = profile
+
+    @property
+    def execution(self) -> str:
+        """Active execution engine: ``"vectorized"`` (default) or
+        ``"tuple"`` (the reference interpreter, kept for differential
+        testing).  Switchable at any time; cached plans re-dispatch on
+        next use (see :meth:`_prepared_plan`)."""
+        return self._execution
+
+    @execution.setter
+    def execution(self, mode: str) -> None:
+        if mode == "vectorized":
+            self._executor = self._vector_executor
+        elif mode == "tuple":
+            self._executor = self._tuple_executor
+        else:
+            raise EngineError(
+                f"unknown execution mode {mode!r}"
+                " (expected 'vectorized' or 'tuple')"
+            )
+        self._execution = mode
+
+    @property
+    def batch_rows(self) -> int:
+        return self._vector_executor.batch_rows
 
     # -- statistics ----------------------------------------------------------
 
@@ -531,14 +570,17 @@ class Database:
 
     def _prepared_plan(self, prepared: PreparedStatement):
         """The statement's physical plan, reusing the cached one while
-        ``(catalog.version, profile)`` still match.  Returns
-        ``(plan, reused)``."""
+        ``(catalog.version, profile, execution)`` still match — a plan
+        cached under one execution engine is never replayed under the
+        other.  Returns ``(plan, reused)``."""
         version = self.catalog.version
         profile = self._planner.profile
+        execution = self._execution
         if (
             prepared.plan is not None
             and prepared.catalog_version == version
             and prepared.profile is profile
+            and prepared.execution == execution
         ):
             return prepared.plan, True
         if prepared.plan is not None:
@@ -546,6 +588,7 @@ class Database:
         prepared.plan = self._planner.plan_select(prepared.stmt)
         prepared.catalog_version = version
         prepared.profile = profile
+        prepared.execution = execution
         return prepared.plan, False
 
     def _prepared_insert(self, prepared: PreparedStatement) -> "_InsertProgram":

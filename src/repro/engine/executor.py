@@ -9,19 +9,27 @@ simulated response times.
 
 from __future__ import annotations
 
+import datetime
 import itertools
 from dataclasses import dataclass
 from typing import Iterator, Sequence
 
 from .catalog import Catalog
 from .errors import ExecutionError, PlanError
+from .expr_batch import sort_rows
 from .plan import physical as phys
 from .values import sort_key
 
 
 @dataclass
 class ExecStats:
-    """Row-level work counters for one database (cumulative)."""
+    """Row-level work counters for one database (cumulative).
+
+    The row counters are engine-independent: the tuple and vectorized
+    executors produce identical values for the same plan (the
+    differential suite asserts this).  ``batches`` counts the batches
+    operators exchanged and is only advanced by the vectorized engine.
+    """
 
     rows_scanned: int = 0
     index_lookups: int = 0
@@ -31,6 +39,19 @@ class ExecStats:
     sorts: int = 0
     materialized_rows: int = 0
     statements: int = 0
+    batches: int = 0
+
+    #: The counters both engines must agree on for identical plans.
+    ROW_COUNTERS = (
+        "rows_scanned",
+        "index_lookups",
+        "rows_fetched",
+        "rows_joined",
+        "rows_output",
+        "sorts",
+        "materialized_rows",
+        "statements",
+    )
 
     def snapshot(self) -> "ExecStats":
         return ExecStats(**vars(self))
@@ -39,6 +60,15 @@ class ExecStats:
         return ExecStats(
             **{k: getattr(self, k) - getattr(earlier, k) for k in vars(self)}
         )
+
+    def row_counters(self) -> dict:
+        """The engine-independent counters, for cross-engine asserts."""
+        return {name: getattr(self, name) for name in self.ROW_COUNTERS}
+
+
+#: Exact types whose native comparisons match ``sort_key`` ordering
+#: within a column (bool is excluded: ``sort_key`` segregates it).
+_NATIVE_ORDER = (int, float, str, datetime.date)
 
 
 class _AggState:
@@ -59,7 +89,15 @@ class _AggState:
             self.count += 1
             return
         assert spec.arg is not None
-        value = spec.arg(row, params)
+        self.add_value(spec.arg(row, params))
+
+    def add_value(self, value: object) -> None:
+        """Fold one already-evaluated argument value (the vectorized
+        engine precomputes argument columns per batch)."""
+        spec = self.spec
+        if spec.func == "COUNT_STAR":
+            self.count += 1
+            return
         if value is None:
             return
         if self.seen is not None:
@@ -70,10 +108,24 @@ class _AggState:
         if spec.func in ("SUM", "AVG"):
             self.total = value if self.total is None else self.total + value
         elif spec.func == "MIN":
-            if self.best is None or sort_key(value) < sort_key(self.best):
+            best = self.best
+            if best is None:
+                self.best = value
+            elif type(value) is type(best) and type(value) in _NATIVE_ORDER:
+                # Fast path: same natively comparable type, no decorated
+                # ``sort_key`` tuples per row.
+                if value < best:
+                    self.best = value
+            elif sort_key(value) < sort_key(best):
                 self.best = value
         elif spec.func == "MAX":
-            if self.best is None or sort_key(value) > sort_key(self.best):
+            best = self.best
+            if best is None:
+                self.best = value
+            elif type(value) is type(best) and type(value) in _NATIVE_ORDER:
+                if value > best:
+                    self.best = value
+            elif sort_key(value) > sort_key(best):
                 self.best = value
 
     def final(self) -> object:
@@ -89,12 +141,58 @@ class _AggState:
         return self.best
 
 
-class Executor:
-    """Executes physical plans against a catalog."""
+def index_entries(
+    catalog: Catalog,
+    stats: ExecStats,
+    node: phys.PIndexScan,
+    outer_row: tuple,
+    params: Sequence[object],
+) -> Iterator[tuple]:
+    """Yield (key, rid) pairs for an index scan's equality prefix.
 
-    def __init__(self, catalog: Catalog) -> None:
+    Shared by both executors so index access patterns (and the page
+    reads they cause) are identical across engines.
+    """
+    table = catalog.table(node.table_name)
+    info = table.indexes.get(node.index_name.lower())
+    if info is None:
+        raise ExecutionError(
+            f"index {node.index_name} vanished from {node.table_name}"
+        )
+    prefix = tuple(e(outer_row, params) for e in node.key_exprs)
+    stats.index_lookups += 1
+    if node.range_low is None and node.range_high is None:
+        yield from info.btree.scan_prefix(prefix)
+        return
+    low = prefix
+    high = prefix
+    if node.range_low is not None:
+        value = node.range_low(outer_row, params)
+        if value is None:
+            return  # NULL bound matches nothing
+        low = prefix + (value,)
+    if node.range_high is not None:
+        value = node.range_high(outer_row, params)
+        if value is None:
+            return
+        high = prefix + (value,)
+    yield from info.btree.scan_range(low or None, high or None)
+
+
+class Executor:
+    """Executes physical plans against a catalog, tuple at a time.
+
+    This is the reference interpreter: simple, streaming, and row
+    accurate.  The hot read path normally runs through the vectorized
+    sibling (:class:`repro.engine.vexecutor.VectorizedExecutor`); this
+    engine is kept for differential testing and as the specification of
+    the execution semantics.  ``stats`` may be shared with another
+    executor so one :class:`Database` reports a single set of counters.
+    """
+
+    def __init__(self, catalog: Catalog, stats: ExecStats | None = None) -> None:
         self._catalog = catalog
-        self.stats = ExecStats()
+        self.stats = stats if stats is not None else ExecStats()
         #: Active EXPLAIN ANALYZE collector (None when not analyzing).
         self._collector = None
 
@@ -188,11 +286,9 @@ class Executor:
         elif isinstance(node, phys.PSort):
             rows = list(self._iterate(node.child, outer_row, params, cache))
             self.stats.sorts += 1
-            for expr, descending in reversed(node.keys):
-                rows.sort(
-                    key=lambda r: sort_key(expr(r, params)), reverse=descending
-                )
-            yield from rows
+            # One composite decorated key per row, one sort — not one
+            # full re-sort (with per-row key lambdas) per ORDER BY key.
+            yield from sort_rows(node, rows, params)
         elif isinstance(node, phys.PDistinct):
             seen: set = set()
             for row in self._iterate(node.child, outer_row, params, cache):
@@ -223,30 +319,7 @@ class Executor:
         self, node: phys.PIndexScan, outer_row: tuple, params: Sequence[object]
     ) -> Iterator[tuple]:
         """Yield (key, rid) pairs for the scan's equality prefix."""
-        table = self._catalog.table(node.table_name)
-        info = table.indexes.get(node.index_name.lower())
-        if info is None:
-            raise ExecutionError(
-                f"index {node.index_name} vanished from {node.table_name}"
-            )
-        prefix = tuple(e(outer_row, params) for e in node.key_exprs)
-        self.stats.index_lookups += 1
-        if node.range_low is None and node.range_high is None:
-            yield from info.btree.scan_prefix(prefix)
-            return
-        low = prefix
-        high = prefix
-        if node.range_low is not None:
-            value = node.range_low(outer_row, params)
-            if value is None:
-                return  # NULL bound matches nothing
-            low = prefix + (value,)
-        if node.range_high is not None:
-            value = node.range_high(outer_row, params)
-            if value is None:
-                return
-            high = prefix + (value,)
-        yield from info.btree.scan_range(low or None, high or None)
+        return index_entries(self._catalog, self.stats, node, outer_row, params)
 
     def _scan_index_only(
         self, node: phys.PIndexScan, outer_row: tuple, params: Sequence[object]

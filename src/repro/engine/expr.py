@@ -188,7 +188,12 @@ class ExprCompiler:
     def compile(self, expr: ast.Expr) -> Compiled:
         if isinstance(expr, ast.Literal):
             value = expr.value
-            return lambda row, params: value
+            def read_literal(row, params, value=value):
+                return value
+            # Metadata for the batch compiler (expr_batch): a constant
+            # needs no per-row evaluation at all.
+            read_literal.const = value
+            return read_literal
         if isinstance(expr, ast.Param):
             index = expr.index
             def read_param(row, params, index=index):
@@ -201,7 +206,12 @@ class ExprCompiler:
             return read_param
         if isinstance(expr, ast.ColumnRef):
             slot = self._schema.resolve(expr.table, expr.column)
-            return lambda row, params, slot=slot: row[slot]
+            def read_slot(row, params, slot=slot):
+                return row[slot]
+            # Metadata for the batch compiler: plain slot reads vectorize
+            # into a single ``operator.itemgetter`` call per batch.
+            read_slot.slot = slot
+            return read_slot
         if isinstance(expr, ast.BinaryOp):
             return self._compile_binary(expr)
         if isinstance(expr, ast.UnaryOp):

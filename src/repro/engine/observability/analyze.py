@@ -62,6 +62,27 @@ class AnalyzeCollector:
             stat.rows += 1
             yield row
 
+    def wrap_batches(
+        self, node: phys.PNode, batches: Iterator[list]
+    ) -> Iterator[list]:
+        """Batch-aware sibling of :meth:`wrap` for the vectorized
+        executor: one timing probe per *batch*, rows accumulated from
+        batch lengths, so analyzed trees from both engines report the
+        same row counts."""
+        stat = self._ensure(node)
+        stat.opens += 1
+        it = iter(batches)
+        while True:
+            t0 = time.perf_counter()
+            try:
+                batch = next(it)
+            except StopIteration:
+                stat.time_ms += (time.perf_counter() - t0) * 1000.0
+                return
+            stat.time_ms += (time.perf_counter() - t0) * 1000.0
+            stat.rows += len(batch)
+            yield batch
+
     # -- reporting --------------------------------------------------------
 
     def operators(self, root: phys.PNode) -> list[OperatorStats]:

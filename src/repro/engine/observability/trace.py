@@ -86,7 +86,9 @@ class QueryTrace:
                 f"exec: scanned={self.exec.rows_scanned} "
                 f"fetched={self.exec.rows_fetched} "
                 f"joined={self.exec.rows_joined} "
-                f"lookups={self.exec.index_lookups} sorts={self.exec.sorts}"
+                f"lookups={self.exec.index_lookups} "
+                f"sorts={self.exec.sorts} "
+                f"batches={self.exec.batches}"
             ),
             (
                 f"locks: acquisitions={self.locks.acquisitions} "

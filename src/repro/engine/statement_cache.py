@@ -106,9 +106,9 @@ class PreparedStatement:
     """A statement parsed once, planned lazily, executable many times.
 
     For SELECTs the physical plan is cached on the handle and reused as
-    long as ``(catalog.version, optimizer profile)`` are unchanged; a
-    mismatch triggers a re-plan (counted as ``db.plan_cache.
-    invalidations``).  INSERTs precompile their value expressions and
+    long as ``(catalog.version, optimizer profile, execution engine)``
+    are unchanged; a mismatch triggers a re-plan (counted as
+    ``db.plan_cache.invalidations``).  INSERTs precompile their value expressions and
     column positions the same way.  UPDATE/DELETE skip re-parsing but
     re-bind per call — their index selection inspects parameter values.
     """
@@ -121,6 +121,7 @@ class PreparedStatement:
         "insert_program",
         "catalog_version",
         "profile",
+        "execution",
     )
 
     def __init__(self, database, stmt: ast.Statement, sql: str | None = None):
@@ -136,6 +137,9 @@ class PreparedStatement:
         self.insert_program = None
         self.catalog_version: int | None = None
         self.profile = None
+        #: Execution engine the cached plan was validated under; a
+        #: cached plan never crosses engines without revalidation.
+        self.execution: str | None = None
 
     @property
     def sql(self) -> str:
