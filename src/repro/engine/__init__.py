@@ -25,6 +25,7 @@ from .errors import (  # noqa: F401
 )
 from .executor import ExecStats, Executor  # noqa: F401
 from .explain import count_operators, plan_shape, render_plan  # noqa: F401
+from .feedback import CardinalityFeedback  # noqa: F401
 from .heap import InsertStrategy, RowId  # noqa: F401
 from .locks import LockStats, LockTable  # noqa: F401
 from .observability import (  # noqa: F401
@@ -37,7 +38,7 @@ from .observability import (  # noqa: F401
     QueryTrace,
     render_analyzed_plan,
 )
-from .optimizer import OptimizerProfile, Planner  # noqa: F401
+from .optimizer import OptimizerProfile, PlanDirectives, Planner  # noqa: F401
 from .pager import DEFAULT_PAGE_SIZE, BufferPool, PageKind, PoolStats  # noqa: F401
 from .vexecutor import BATCH_ROWS, VectorizedExecutor  # noqa: F401
 from .values import (  # noqa: F401

@@ -31,6 +31,7 @@ from .durability.wal import WalStats
 from .errors import BudgetExceededError, EngineError, PlanError, SemanticError
 from .executor import ExecStats, Executor
 from .expr import ExprCompiler, Schema, Slot
+from .feedback import CardinalityFeedback
 from .heap import InsertStrategy
 from .locks import LockTable
 from .observability import (
@@ -132,7 +133,15 @@ class Database:
         self.transactions = TransactionManager(
             metrics=self.metrics, durability=self.durability
         )
-        self._planner = Planner(self.catalog, profile, self._execute_subquery)
+        #: Observed selectivities fed back into the planner (pluggable —
+        #: see the ``feedback`` property).
+        self._feedback = CardinalityFeedback(metrics=self.metrics)
+        self._planner = Planner(
+            self.catalog,
+            profile,
+            self._execute_subquery,
+            feedback=self._feedback,
+        )
         #: Both engines share one ExecStats, so counters stay cumulative
         #: across engine switches and ``exec_stats`` has a single truth.
         shared_stats = ExecStats()
@@ -192,6 +201,19 @@ class Database:
     @property
     def batch_rows(self) -> int:
         return self._vector_executor.batch_rows
+
+    @property
+    def feedback(self) -> CardinalityFeedback:
+        """The cardinality-feedback store the planner consults.
+        Pluggable: assigning a different store (or ``None`` to disable
+        feedback) re-points the planner immediately; cached plans
+        re-plan lazily via their recorded feedback version."""
+        return self._feedback
+
+    @feedback.setter
+    def feedback(self, store: CardinalityFeedback | None) -> None:
+        self._feedback = store
+        self._planner.feedback = store
 
     # -- statistics ----------------------------------------------------------
 
@@ -289,11 +311,27 @@ class Database:
 
     # -- planning / explain -----------------------------------------------------
 
-    def plan(self, sql: str):
+    def plan(self, sql: str, directives=None):
         stmt = parse_statement(sql)
         if not isinstance(stmt, ast.Select):
             raise PlanError("only SELECT statements can be planned/explained")
-        return self._planner.plan_select(stmt)
+        return self._planner.plan_select(stmt, directives)
+
+    def plan_ast(self, select: ast.Select, directives=None):
+        """Plan an already-parsed SELECT, optionally pinning parts of
+        the plan (:class:`~repro.engine.optimizer.PlanDirectives`) — the
+        entry point the plan-space enumerator uses."""
+        return self._planner.plan_select(select, directives)
+
+    def execute_plan(
+        self, root, params: Sequence[object] = (), collector=None
+    ) -> Result:
+        """Execute a physical plan built by :meth:`plan` /
+        :meth:`plan_ast` on the active engine, optionally under an
+        :class:`AnalyzeCollector`."""
+        rows = self._executor.run(root, params, collector=collector)
+        columns = [slot.name for slot in root.schema.slots]
+        return Result(columns, rows, len(rows))
 
     def explain(self, sql: str) -> str:
         from .explain import render_plan
@@ -576,11 +614,15 @@ class Database:
         version = self.catalog.version
         profile = self._planner.profile
         execution = self._execution
+        feedback_version = (
+            self._feedback.version if self._feedback is not None else None
+        )
         if (
             prepared.plan is not None
             and prepared.catalog_version == version
             and prepared.profile is profile
             and prepared.execution == execution
+            and prepared.feedback_version == feedback_version
         ):
             return prepared.plan, True
         if prepared.plan is not None:
@@ -589,6 +631,7 @@ class Database:
         prepared.catalog_version = version
         prepared.profile = profile
         prepared.execution = execution
+        prepared.feedback_version = feedback_version
         return prepared.plan, False
 
     def _prepared_insert(self, prepared: PreparedStatement) -> "_InsertProgram":

@@ -27,6 +27,24 @@ class OperatorStats:
     rows: int = 0
     opens: int = 0
     time_ms: float = 0.0
+    #: The planner's cardinality estimate for this operator (copied from
+    #: :attr:`PNode.est_rows <repro.engine.plan.physical.PNode>`), or
+    #: None when the planner made no claim.  ``actual vs est`` is what
+    #: Q-error measures.
+    est_rows: float | None = None
+
+    @property
+    def q_error(self) -> float | None:
+        """``max(est/actual, actual/est)`` per probe — the standard
+        cardinality-estimation error metric (1.0 is perfect).  None when
+        there is no estimate or the operator never ran.  Both sides are
+        +1-smoothed so empty operators yield a finite error (an estimate
+        of 60 against 0 actual rows reads 61, not 6e10)."""
+        if self.est_rows is None or self.opens == 0:
+            return None
+        actual = self.rows / self.opens + 1.0
+        est = max(self.est_rows, 0.0) + 1.0
+        return max(est / actual, actual / est)
 
 
 class AnalyzeCollector:
@@ -41,7 +59,11 @@ class AnalyzeCollector:
     def _ensure(self, node: phys.PNode) -> OperatorStats:
         stat = self._stats.get(id(node))
         if stat is None:
-            stat = OperatorStats(node.op_name, node.describe())
+            stat = OperatorStats(
+                node.op_name,
+                node.describe(),
+                est_rows=getattr(node, "est_rows", None),
+            )
             self._stats[id(node)] = stat
         return stat
 
@@ -93,7 +115,11 @@ class AnalyzeCollector:
         def visit(node: phys.PNode) -> None:
             stat = self.stats_for(node)
             if stat is None:
-                stat = OperatorStats(node.op_name, node.describe())
+                stat = OperatorStats(
+                    node.op_name,
+                    node.describe(),
+                    est_rows=getattr(node, "est_rows", None),
+                )
             out.append(stat)
             for child in node.children():
                 visit(child)
@@ -115,12 +141,14 @@ def render_analyzed_plan(root: phys.PNode, collector: AnalyzeCollector) -> str:
         detail = node.describe()
         suffix = f"  [{detail}]" if detail else ""
         stat = collector.stats_for(node)
+        est = getattr(node, "est_rows", None)
+        est_ann = f" est={est:.1f}" if est is not None else ""
         if stat is None:
             ann = "  (never executed)"
         else:
             ann = (
                 f"  (rows={stat.rows} opens={stat.opens} "
-                f"time={stat.time_ms:.3f}ms)"
+                f"time={stat.time_ms:.3f}ms{est_ann})"
             )
         lines.append("  " * depth + node.op_name + suffix + ann)
         for child in node.children():

@@ -48,6 +48,40 @@ class OptimizerProfile(enum.Enum):
     ADVANCED = "advanced"
 
 
+@dataclass(frozen=True)
+class PlanDirectives:
+    """Pin parts of a plan, for plan-space enumeration.
+
+    Positions index the top-level FROM list *after* profile-dependent
+    flattening (see :meth:`Planner.source_count`), in textual order —
+    binding names are not stable across planning calls (flattening
+    renames shadowed inner bindings with a global counter), positions
+    are.  ``None`` entries leave the planner's own choice in place, so
+    ``PlanDirectives()`` reproduces the default plan.  Directives apply
+    to the outermost query block only; derived tables plan normally.
+    """
+
+    #: Permutation of FROM positions to join in, or None for the
+    #: profile's own ordering.
+    join_order: tuple[int, ...] | None = None
+    #: Per-position access forcing: "scan" forbids index access,
+    #: "index"/None keep the default selection.
+    access_paths: tuple[str | None, ...] = ()
+    #: Per-position join method forcing for non-driving sources:
+    #: "nl" or "hash"; None keeps the cost-based choice.
+    join_methods: tuple[str | None, ...] = ()
+
+    def access_for(self, position: int) -> str | None:
+        if position < len(self.access_paths):
+            return self.access_paths[position]
+        return None
+
+    def join_for(self, position: int) -> str | None:
+        if position < len(self.join_methods):
+            return self.join_methods[position]
+        return None
+
+
 # ---------------------------------------------------------------------------
 # helpers on expressions
 # ---------------------------------------------------------------------------
@@ -64,6 +98,31 @@ def _eq_sides(conjunct: ast.Expr) -> tuple[ast.Expr, ast.Expr] | None:
     return None
 
 
+#: Operators that neither add nor drop rows — they inherit their child's
+#: cardinality estimate so EXPLAIN shows an estimate on every
+#: row-preserving operator.  GRPBY/DISTINCT reduce by an unknown factor
+#: and deliberately stay unestimated.
+_PASS_THROUGH = (phys.PReturn, phys.PSort, phys.PProject, phys.PMaterialize)
+
+
+def _inherit_estimates(root: phys.PNode) -> None:
+    def visit(node: phys.PNode) -> None:
+        for child in node.children():
+            visit(child)
+        if node.est_rows is not None:
+            return
+        if isinstance(node, _PASS_THROUGH):
+            kids = node.children()
+            if kids:
+                node.est_rows = kids[0].est_rows
+        elif isinstance(node, phys.PLimit):
+            child_est = node.child.est_rows
+            if child_est is not None:
+                node.est_rows = min(float(node.limit), child_est)
+
+    visit(root)
+
+
 @dataclass
 class _Entry:
     """One FROM source being planned."""
@@ -73,6 +132,8 @@ class _Entry:
     table: Table | None = None  # None for derived tables
     derived_plan: phys.PNode | None = None
     est_rows: float = 1.0
+    #: Index into the block's FROM list (what PlanDirectives key on).
+    position: int = 0
 
 
 @dataclass
@@ -95,19 +156,52 @@ class Planner:
         catalog: Catalog,
         profile: OptimizerProfile = OptimizerProfile.ADVANCED,
         subquery_executor: Callable[[ast.Select], set] | None = None,
+        feedback=None,
     ) -> None:
         self._catalog = catalog
         self.profile = profile
         self._subquery_executor = subquery_executor
+        #: Optional :class:`~repro.engine.feedback.CardinalityFeedback`
+        #: consulted by :meth:`_estimate_access` before static guesses.
+        self.feedback = feedback
+        #: Directives for the block currently being planned (top of
+        #: stack); derived tables push None so directives never leak
+        #: into inner blocks.
+        self._directive_stack: list[PlanDirectives | None] = []
 
     # -- public entry ------------------------------------------------------
 
-    def plan_select(self, select: ast.Select) -> phys.PReturn:
+    def plan_select(
+        self,
+        select: ast.Select,
+        directives: PlanDirectives | None = None,
+    ) -> phys.PReturn:
         block = qualify_block(build_block(select), self._column_lookup)
         if self.profile is OptimizerProfile.ADVANCED:
             block = flatten_block(block)
-        root = self._plan_block(block)
-        return phys.PReturn(schema=root.schema, child=root)
+        self._directive_stack.append(directives)
+        try:
+            root = self._plan_block(block)
+        finally:
+            self._directive_stack.pop()
+        ret = phys.PReturn(schema=root.schema, child=root)
+        _inherit_estimates(ret)
+        return ret
+
+    def source_count(self, select: ast.Select) -> int:
+        """How many FROM sources the outermost block has after this
+        profile's flattening — the position space
+        :class:`PlanDirectives` index into."""
+        block = qualify_block(build_block(select), self._column_lookup)
+        if self.profile is OptimizerProfile.ADVANCED:
+            block = flatten_block(block)
+        return len(block.sources)
+
+    @property
+    def _directives(self) -> PlanDirectives | None:
+        if self._directive_stack:
+            return self._directive_stack[-1]
+        return None
 
     def _column_lookup(self, table_name: str) -> list[str]:
         return [c.lname for c in self._catalog.table(table_name).columns]
@@ -115,7 +209,10 @@ class Planner:
     # -- block planning -------------------------------------------------------
 
     def _plan_block(self, block: QueryBlock) -> phys.PNode:
-        entries = [self._make_entry(source) for source in block.sources]
+        entries = [
+            self._make_entry(source, position)
+            for position, source in enumerate(block.sources)
+        ]
         if not entries:
             raise PlanError("SELECT without FROM is not supported")
         conjuncts = self._classify(block.conjuncts, entries)
@@ -129,11 +226,18 @@ class Planner:
         node = self._access(
             order[0], conjuncts, Schema([]), None, consumed, needed
         )
-        outer_est = self._estimate_access(
-            order[0],
-            list(self._eq_map(order[0], conjuncts, set()).keys()),
-        )
+        if node.est_rows is None:
+            node.est_rows = self._estimate_access(
+                order[0],
+                list(self._eq_map(order[0], conjuncts, set()).keys()),
+            )
+        # The access node's annotation is feedback-aware (it may carry a
+        # learned post-residual cardinality), so the running estimate
+        # reads it rather than re-deriving the static guess.
+        outer_est = node.est_rows
         node = self._apply_filters(node, conjuncts, placed, consumed)
+        if node.est_rows is not None:
+            outer_est = node.est_rows
         for entry in order[1:]:
             entry_est = self._estimate_access(
                 entry,
@@ -143,8 +247,11 @@ class Planner:
                 node, entry, conjuncts, placed, consumed, needed, outer_est
             )
             outer_est *= max(1.0, entry_est)
+            node.est_rows = outer_est
             placed.add(entry.binding)
             node = self._apply_filters(node, conjuncts, placed, consumed)
+            if node.est_rows is not None:
+                outer_est = node.est_rows
 
         leftover = [c for c in conjuncts if id(c) not in consumed and not c.derived]
         if leftover:
@@ -165,7 +272,7 @@ class Planner:
 
     # -- entries ----------------------------------------------------------------
 
-    def _make_entry(self, source: ast.Source) -> _Entry:
+    def _make_entry(self, source: ast.Source, position: int = 0) -> _Entry:
         binding = source.binding.lower()
         if isinstance(source, ast.TableSource):
             table = self._catalog.table(source.name)
@@ -175,8 +282,15 @@ class Planner:
                 schema=schema,
                 table=table,
                 est_rows=float(max(1, table.row_count)),
+                position=position,
             )
-        inner = self._plan_block(self._qualified_inner(source.select))
+        # Derived tables plan with no directives in scope — directives
+        # describe the outermost block only.
+        self._directive_stack.append(None)
+        try:
+            inner = self._plan_block(self._qualified_inner(source.select))
+        finally:
+            self._directive_stack.pop()
         names = []
         inner_block = build_block(source.select)
         for i, item in enumerate(inner_block.items):
@@ -187,6 +301,7 @@ class Planner:
             schema=schema,
             derived_plan=inner,
             est_rows=1000.0,
+            position=position,
         )
 
     def _qualified_inner(self, select: ast.Select) -> QueryBlock:
@@ -312,6 +427,15 @@ class Planner:
     def _order_entries(
         self, entries: list[_Entry], conjuncts: list[_Conjunct]
     ) -> list[_Entry]:
+        directives = self._directives
+        if directives is not None and directives.join_order is not None:
+            by_position = {e.position: e for e in entries}
+            if sorted(directives.join_order) != sorted(by_position):
+                raise PlanError(
+                    f"join_order {directives.join_order} does not cover "
+                    f"FROM positions {sorted(by_position)}"
+                )
+            return [by_position[p] for p in directives.join_order]
         if len(entries) == 1:
             return entries
         if self.profile is OptimizerProfile.SIMPLE:
@@ -425,6 +549,11 @@ class Planner:
         rows = float(max(1, table.row_count))
         if not bound_columns:
             return rows
+        if self.feedback is not None:
+            learned = self.feedback.estimate(table.name, bound_columns)
+            if learned is not None:
+                # Observed rows-per-access overrides the static guess.
+                return max(0.1, learned)
         info = table.find_index(tuple(bound_columns))
         if info is None:
             return rows * (0.5 ** len(bound_columns))
@@ -458,30 +587,122 @@ class Planner:
             return self._derived_access(entry, conjuncts, consumed)
         table = entry.table
         eq_map = self._eq_map(entry, conjuncts, placed_bindings)
+        directives = self._directives
+        forced_access = (
+            directives.access_for(entry.position)
+            if directives is not None
+            else None
+        )
+        range_low = range_high = None
+        range_sql: list[str] = []
+        range_col: str | None = None
         index_info, prefix = self._choose_index(entry, eq_map, conjuncts)
 
         # Range bounds on the column right after the equality prefix
-        # narrow the scan; the original (possibly exclusive) predicates
-        # stay in the residual, so bounds are correctness-neutral.
-        range_low = range_high = None
-        range_sql: list[str] = []
+        # narrow the scan; the original (possibly exclusive)
+        # predicates stay in the residual, so bounds are
+        # correctness-neutral.
         if index_info is None:
             index_info, range_low, range_high, range_sql = self._range_index(
                 entry, conjuncts, placed_bindings
             )
             prefix = []
+            if index_info is not None:
+                range_col = index_info.column_names[0].lower()
         elif len(prefix) < len(index_info.column_names):
             next_col = index_info.column_names[len(prefix)].lower()
             range_low, range_high, range_sql = self._range_bounds(
                 entry, conjuncts, placed_bindings, next_col
             )
+            if range_low is not None or range_high is not None:
+                range_col = next_col
+        if forced_access == "scan":
+            # Directive: no index access at all.  Join equalities that
+            # would have driven an index probe fall through to the
+            # post-join FILTER, so the plan stays correct — just
+            # (usually) worse, which is the point of enumerating it.
+            # range_col survives so the scan's feedback key matches the
+            # index path's key for the same (eq, range) shape.
+            index_info, prefix = None, []
+            range_low = range_high = None
+            range_sql = []
 
+        # Equality columns this access node itself enforces (via index
+        # keys or single-binding residuals) — what an analyzed run's
+        # actual rows can legitimately teach the feedback store about.
+        single_eq_cols = {
+            col
+            for col, (_, cj) in eq_map.items()
+            if cj.bindings == frozenset({entry.binding})
+        }
+        # Range restrictions get a pseudo-column in the *pre-residual*
+        # feedback key ("id:range") — how many index entries the range
+        # matches is learned per (table, shape), not per constant.
+        range_marker = {f"{range_col}:range"} if range_col is not None else set()
+        # Non-equality residuals (ranges, IN lists, <>…) each contribute
+        # a fingerprint to the *result* key.  Without them, an access
+        # whose residual filters rows would teach its pure eq-column key
+        # a too-small cardinality and poison every other query that
+        # binds the same columns without those residuals.
+        eq_conjunct_ids = {id(cj) for _, cj in eq_map.values()}
         single = [
             c
             for c in conjuncts
             if id(c) not in consumed
             and c.bindings == frozenset({entry.binding})
         ]
+        residual_fps = {
+            f"res:{c.sql}" for c in single if id(c) not in eq_conjunct_ids
+        }
+
+        def annotate(
+            node: phys.PNode,
+            enforced: set[str],
+            extra_key: set[str] = frozenset(),
+        ) -> phys.PNode:
+            key_cols = set(enforced) | set(extra_key)
+            learned = (
+                self.feedback.estimate(table.name, sorted(key_cols))
+                if self.feedback is not None and key_cols
+                else None
+            )
+            if learned is not None:
+                # The full (eq ∪ residual-shape) key was observed: use
+                # the measured result cardinality directly.
+                node.est_rows = max(0.1, learned)
+            else:
+                node.est_rows = self._estimate_access(entry, sorted(enforced))
+            if key_cols:
+                node.feedback_key = (
+                    table.name.lower(),
+                    tuple(sorted(key_cols)),
+                )
+            return node
+
+        # Feedback-driven access demotion: once an analyzed run has
+        # taught us how many index entries this (prefix, range shape)
+        # access matches, compare a B+-tree descent plus per-entry work
+        # against one sequential scan and demote wide index ranges to
+        # TBSCAN.  Join probes (prefix columns bound by another table)
+        # are exempt — their per-probe cost is the join method's call.
+        if (
+            index_info is not None
+            and forced_access is None
+            and self.feedback is not None
+            and set(prefix) <= single_eq_cols
+        ):
+            learned = self.feedback.estimate(
+                table.name, sorted(set(prefix) | range_marker)
+            )
+            if learned is not None:
+                index_cols = {c.lower() for c in index_info.column_names}
+                covers = set(needed.get(entry.binding, set())) <= index_cols
+                per_entry = 1.0 if covers else 2.5
+                index_cost = 3.0 + per_entry * max(0.1, learned)
+                if float(max(1, table.row_count)) < index_cost:
+                    index_info, prefix = None, []
+                    range_low = range_high = None
+                    range_sql = []
 
         usable_range = range_low is not None or range_high is not None
         if index_info is None or not (prefix or usable_range):
@@ -496,7 +717,9 @@ class Planner:
             )
             consumed.update(id(c) for c in residual_conjuncts)
             self._consume_derived_duplicates(conjuncts, consumed, placed_bindings | {entry.binding})
-            return node
+            # A (possibly demoted) scan's result key matches the index
+            # path's: same eq columns, same residual fingerprints.
+            return annotate(node, single_eq_cols, residual_fps)
 
         key_compiler = ExprCompiler(outer_schema, self._subquery_executor)
         key_exprs, key_sql = [], []
@@ -541,9 +764,21 @@ class Planner:
         )
         consumed.update(id(c) for c in residual_conjuncts)
         self._consume_derived_duplicates(conjuncts, consumed, placed_bindings | {entry.binding})
+        enforced = set(prefix) | single_eq_cols
         if index_only:
-            return ixscan
-        return phys.PFetch(schema=entry.schema, child=ixscan, table_name=table.name)
+            return annotate(ixscan, enforced, residual_fps)
+        # The IXSCAN's own stats count prefix/range matches *before*
+        # residuals — exactly the per-entry cost the demotion decision
+        # needs — so it carries the pre-residual key; the FETCH above it
+        # carries the post-residual result key.
+        ixscan.est_rows = self._estimate_access(entry, sorted(set(prefix)))
+        pre_key = set(prefix) | range_marker
+        if pre_key:
+            ixscan.feedback_key = (table.name.lower(), tuple(sorted(pre_key)))
+        fetch = phys.PFetch(
+            schema=entry.schema, child=ixscan, table_name=table.name
+        )
+        return annotate(fetch, enforced, residual_fps)
 
     _RANGE_OPS = {"<", "<=", ">", ">="}
     _FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
@@ -713,6 +948,7 @@ class Planner:
             residual_sql=[c.sql for c in single],
         )
         consumed.update(id(c) for c in single)
+        node.est_rows = entry.est_rows * (0.5 ** len(single))
         return node
 
     # -- joins --------------------------------------------------------------------
@@ -728,7 +964,22 @@ class Planner:
         outer_est: float = 100.0,
     ) -> phys.PNode:
         combined = outer.schema.extend(entry.schema)
+        directives = self._directives
+        forced_join = (
+            directives.join_for(entry.position)
+            if directives is not None
+            else None
+        )
         if entry.table is not None:
+            if forced_join == "hash":
+                return self._hash_join(
+                    outer, entry, conjuncts, placed, consumed, needed, combined
+                )
+            if forced_join == "nl":
+                inner = self._access(
+                    entry, conjuncts, outer.schema, placed, consumed, needed
+                )
+                return phys.PNLJoin(schema=combined, outer=outer, inner=inner)
             eq_with_outer = self._eq_map(entry, conjuncts, placed)
             join_cols = [
                 col
@@ -741,29 +992,37 @@ class Planner:
             # ones like c.parent = ? from p.id = c.parent AND p.id = ?).
             const_only = self._eq_map(entry, conjuncts, placed_bindings=set())
             if self.profile is OptimizerProfile.ADVANCED and join_cols:
-                # Cost-based choice (Figure 8's shape): HSJOIN builds the
-                # constant-restricted access once; NLJOIN probes the
-                # join-key index per outer row.
+                # Cost-based choice (Figure 8's shape), in the same work
+                # units the quality harness measures: an index probe is
+                # ~3 units of B+-tree descent plus ~2.5 per fetched row
+                # (fetch + data page); a scan is ~1 per row.  NLJOIN
+                # pays a probe per outer row; HSJOIN pays the inner
+                # access once (constant-restricted when an index
+                # matches, a full scan otherwise), materializes the
+                # build, then probes per outer row.
+                est_full = self._estimate_access(
+                    entry, list(eq_with_outer.keys())
+                )
+                est_const = self._estimate_access(
+                    entry, list(const_only.keys())
+                )
                 _, const_prefix = self._choose_index(entry, const_only, conjuncts)
                 if const_prefix:
-                    est_full = self._estimate_access(
-                        entry, list(eq_with_outer.keys())
+                    inner_access = 3.0 + 2.5 * est_const
+                else:
+                    inner_access = float(max(1, entry.table.row_count))
+                nl_cost = outer_est * (3.0 + 2.5 * est_full)
+                hs_cost = inner_access + est_const + outer_est
+                if not use_nl or hs_cost < nl_cost:
+                    return self._hash_join(
+                        outer,
+                        entry,
+                        conjuncts,
+                        placed,
+                        consumed,
+                        needed,
+                        combined,
                     )
-                    est_const = self._estimate_access(
-                        entry, list(const_only.keys())
-                    )
-                    nl_cost = outer_est * (3.0 + est_full)
-                    hs_cost = 2.0 * est_const + outer_est
-                    if hs_cost < nl_cost:
-                        return self._hash_join(
-                            outer,
-                            entry,
-                            conjuncts,
-                            placed,
-                            consumed,
-                            needed,
-                            combined,
-                        )
             if use_nl:
                 inner = self._access(
                     entry, conjuncts, outer.schema, placed, consumed, needed
@@ -781,6 +1040,10 @@ class Planner:
         # Derived table inner: hash join if possible, else NL over cache.
         join_conjuncts = self._joinable_eqs(entry, conjuncts, placed, consumed)
         inner = self._derived_access(entry, conjuncts, consumed)
+        if forced_join == "nl":
+            # Join equalities stay unconsumed and land in the post-join
+            # FILTER.
+            return phys.PNLJoin(schema=combined, outer=outer, inner=inner)
         if join_conjuncts:
             return self._build_hsjoin(
                 outer, inner, entry, join_conjuncts, consumed, combined
@@ -876,12 +1139,15 @@ class Planner:
         compiler = ExprCompiler(node.schema, self._subquery_executor)
         predicates = [compiler.compile(c.expr) for c in pending]
         consumed.update(id(c) for c in pending)
-        return phys.PFilter(
+        filt = phys.PFilter(
             schema=node.schema,
             child=node,
             predicates=predicates,
             predicate_sql=[c.sql for c in pending],
         )
+        if node.est_rows is not None:
+            filt.est_rows = node.est_rows * (0.5 ** len(pending))
+        return filt
 
     # -- grouping / projection / ordering -------------------------------------------
 

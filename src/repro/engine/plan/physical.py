@@ -23,6 +23,15 @@ class PNode:
 
     schema: Schema
 
+    # Planner annotations (deliberately *not* dataclass fields — every
+    # subclass would otherwise need defaults after them).  ``est_rows``
+    # is the optimizer's cardinality estimate for this operator's
+    # output; ``feedback_key`` is the ``(table, bound columns)`` key
+    # under which an analyzed run's actual rows feed the
+    # :class:`~repro.engine.feedback.CardinalityFeedback` store.
+    est_rows = None  # type: float | None
+    feedback_key = None  # type: tuple | None
+
     @property
     def op_name(self) -> str:
         return type(self).__name__

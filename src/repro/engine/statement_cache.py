@@ -122,6 +122,7 @@ class PreparedStatement:
         "catalog_version",
         "profile",
         "execution",
+        "feedback_version",
     )
 
     def __init__(self, database, stmt: ast.Statement, sql: str | None = None):
@@ -140,6 +141,10 @@ class PreparedStatement:
         #: Execution engine the cached plan was validated under; a
         #: cached plan never crosses engines without revalidation.
         self.execution: str | None = None
+        #: Cardinality-feedback revision the cached plan was planned
+        #: under; new observations that could change a plan choice bump
+        #: the store's version and lazily re-plan here.
+        self.feedback_version: int | None = None
 
     @property
     def sql(self) -> str:

@@ -1,0 +1,100 @@
+"""CLI: ``python -m repro.quality`` — run the optimizer-quality harness.
+
+Examples::
+
+    python -m repro.quality                      # full report, all layouts
+    python -m repro.quality --layouts conventional --gate
+    python -m repro.quality --seeds 30 --budget 32 --no-feedback
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from .harness import HarnessConfig, all_layouts, run_harness
+from .report import evaluate_gate, render_report, report_to_json
+
+DEFAULT_OUTPUT = os.path.join(
+    "benchmarks", "results", "BENCH_optimizer_quality.json"
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.quality",
+        description="Plan-space enumeration: chosen-vs-best per layout.",
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=15,
+        help="corpus size: generator seeds 0..N-1 (default 15)",
+    )
+    parser.add_argument(
+        "--budget", type=int, default=24,
+        help="max distinct plans enumerated per query (default 24)",
+    )
+    parser.add_argument(
+        "--layouts", default="",
+        help="comma-separated layout names "
+        f"(default: all of {','.join(all_layouts())})",
+    )
+    parser.add_argument(
+        "--no-feedback", action="store_true",
+        help="disable cardinality feedback (measure the static model)",
+    )
+    parser.add_argument(
+        "--gate", action="store_true",
+        help="evaluate the optimal-plan-rate gate on the conventional "
+        "layout; exit 1 on failure",
+    )
+    parser.add_argument(
+        "--output", default=DEFAULT_OUTPUT,
+        help=f"JSON results path (default {DEFAULT_OUTPUT}); "
+        "'-' to skip writing",
+    )
+    args = parser.parse_args(argv)
+
+    layouts = tuple(
+        name.strip() for name in args.layouts.split(",") if name.strip()
+    )
+    unknown = set(layouts) - set(all_layouts())
+    if unknown:
+        parser.error(f"unknown layouts: {sorted(unknown)}")
+    config = HarnessConfig(
+        seeds=tuple(range(args.seeds)),
+        budget=args.budget,
+        layouts=layouts,
+        feedback=not args.no_feedback,
+    )
+    outcomes = run_harness(config)
+    gate = None
+    if args.gate:
+        gate = evaluate_gate(outcomes)
+    print(render_report(outcomes, gate))
+
+    if args.output != "-":
+        payload = report_to_json(
+            outcomes,
+            gate,
+            config={
+                "seeds": args.seeds,
+                "budget": args.budget,
+                "layouts": list(layouts) or all_layouts(),
+                "feedback": not args.no_feedback,
+            },
+        )
+        os.makedirs(os.path.dirname(args.output) or ".", exist_ok=True)
+        with open(args.output, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"results written to {args.output}")
+
+    if gate is not None and not gate.passed:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,113 @@
+"""Bounded plan-space enumeration.
+
+:class:`~repro.engine.optimizer.PlanDirectives` can pin the join order,
+forbid index access per FROM position, and force the join method per
+position — enough to reach every structurally distinct plan the planner
+could have produced.  :func:`enumerate_plans` walks that space in tiers
+(join orders first, then access forcing, then join methods), dedupes by
+the rendered plan shape, and stops at ``budget`` distinct plans, so the
+harness's cost stays linear in the budget rather than factorial in the
+FROM-list width.
+
+Directive combinations pin *every* cost-based choice on the fully
+specified tiers, so the enumerated space does not shift when the
+feedback store learns new selectivities — the "best plan" baseline is
+stable across feedback rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import islice, permutations, product
+from typing import Iterator
+
+from ..engine.errors import PlanError
+from ..engine.explain import render_plan
+from ..engine.optimizer import PlanDirectives
+from ..engine.sql import ast
+
+#: Cap on join orders considered for very wide FROM lists (chunk layouts
+#: shred one logical table into several physical sources); the budget
+#: usually bites first, this keeps candidate generation itself cheap.
+MAX_ORDERS = 24
+
+
+@dataclass
+class Alternative:
+    """One distinct plan reachable for a query."""
+
+    directives: PlanDirectives | None  #: None = the planner's own choice
+    signature: str  #: rendered plan shape (dedup + display key)
+    root: object  #: the physical plan (PReturn)
+
+    @property
+    def is_default(self) -> bool:
+        return self.directives is None
+
+
+def _candidate_directives(n: int) -> Iterator[PlanDirectives | None]:
+    """Directive candidates in increasing specificity.
+
+    Tier 0 is the planner's default; tier 1 varies the join order alone;
+    tier 2 adds access-path forcing; tier 3 adds join-method forcing.
+    Later tiers pin everything, making those plans estimate-independent.
+    Forced table scans are limited to one position at a time for three
+    or more sources — multi-scan plans of wide joins are cross-product
+    blowups that are never competitive but dominate wall time.
+    """
+    yield None
+    orders = list(islice(permutations(range(n)), MAX_ORDERS))
+    if n <= 2:
+        accesses = [a for a in product((None, "scan"), repeat=n) if any(a)]
+    else:
+        accesses = []
+        for position in range(n):
+            forced: list[str | None] = [None] * n
+            forced[position] = "scan"
+            accesses.append(tuple(forced))
+    for order in orders:
+        yield PlanDirectives(join_order=order)
+    for order in orders:
+        for access in accesses:
+            yield PlanDirectives(join_order=order, access_paths=access)
+    method_choices = list(product(("nl", "hash"), repeat=max(0, n - 1)))
+    for order in orders:
+        for access in [tuple([None] * n)] + accesses:
+            for methods in method_choices:
+                by_position: list[str | None] = [None] * n
+                for i, method in enumerate(methods):
+                    by_position[order[i + 1]] = method
+                yield PlanDirectives(
+                    join_order=order,
+                    access_paths=access,
+                    join_methods=tuple(by_position),
+                )
+
+
+def enumerate_plans(
+    db, stmt: ast.Select, budget: int = 24
+) -> list[Alternative]:
+    """Distinct plans for ``stmt``, the planner's default first.
+
+    ``db`` is an engine :class:`~repro.engine.database.Database`; plans
+    are deduplicated by rendered shape and enumeration stops once
+    ``budget`` distinct plans exist (the default plan always counts as
+    the first).
+    """
+    n = db._planner.source_count(stmt)
+    seen: dict[str, Alternative] = {}
+    out: list[Alternative] = []
+    for directives in _candidate_directives(n):
+        if len(out) >= budget:
+            break
+        try:
+            root = db.plan_ast(stmt, directives)
+        except PlanError:  # pragma: no cover - defensive
+            continue
+        signature = render_plan(root)
+        if signature in seen:
+            continue
+        alternative = Alternative(directives, signature, root)
+        seen[signature] = alternative
+        out.append(alternative)
+    return out

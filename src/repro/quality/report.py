@@ -1,0 +1,146 @@
+"""Render harness results; evaluate the optimal-plan-rate gate.
+
+The gate mirrors the acceptance criterion: with cardinality feedback
+enabled, the chosen plan must be within ``threshold`` (1.5x) of the
+enumerated best for at least ``required_rate`` (90%) of the corpus on
+the conventional layout, and no query may regress beyond ``max_ratio``
+(2x).  JSON results persist to ``benchmarks/results/`` so CI runs are
+comparable across commits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .harness import LayoutOutcome
+
+#: Acceptance thresholds (see ISSUE 6 / docs/optimizer_quality.md).
+GATE_LAYOUT = "conventional"
+GATE_THRESHOLD = 1.5
+GATE_REQUIRED_RATE = 0.9
+GATE_MAX_RATIO = 2.0
+
+
+@dataclass
+class GateResult:
+    layout: str
+    threshold: float
+    required_rate: float
+    max_ratio: float
+    optimal_rate: float
+    worst_ratio: float
+    passed: bool
+    detail: str
+
+    def to_dict(self) -> dict:
+        return {
+            "layout": self.layout,
+            "threshold": self.threshold,
+            "required_rate": self.required_rate,
+            "max_ratio": self.max_ratio,
+            "optimal_rate": round(self.optimal_rate, 4),
+            "worst_ratio": round(self.worst_ratio, 4),
+            "passed": self.passed,
+            "detail": self.detail,
+        }
+
+
+def evaluate_gate(
+    outcomes: dict[str, LayoutOutcome],
+    *,
+    layout: str = GATE_LAYOUT,
+    threshold: float = GATE_THRESHOLD,
+    required_rate: float = GATE_REQUIRED_RATE,
+    max_ratio: float = GATE_MAX_RATIO,
+) -> GateResult:
+    outcome = outcomes.get(layout)
+    if outcome is None:
+        return GateResult(
+            layout, threshold, required_rate, max_ratio, 0.0, float("inf"),
+            False, f"layout {layout!r} was not run",
+        )
+    rate = outcome.optimal_rate(threshold)
+    worst = outcome.worst_ratio()
+    rate_ok = rate >= required_rate
+    worst_ok = worst <= max_ratio
+    if rate_ok and worst_ok:
+        detail = (
+            f"{rate:.0%} of queries within {threshold}x of best "
+            f"(worst {worst:.2f}x)"
+        )
+    else:
+        offenders = [
+            f"seed {q.seed}: {q.ratio_after:.2f}x"
+            for q in outcome.queries
+            if q.ratio_after > threshold
+        ]
+        detail = (
+            f"rate {rate:.0%} (need {required_rate:.0%}), "
+            f"worst {worst:.2f}x (cap {max_ratio}x); over threshold: "
+            + (", ".join(offenders) or "none")
+        )
+    return GateResult(
+        layout, threshold, required_rate, max_ratio, rate, worst,
+        rate_ok and worst_ok, detail,
+    )
+
+
+def report_to_json(
+    outcomes: dict[str, LayoutOutcome],
+    gate: GateResult | None = None,
+    *,
+    config: dict | None = None,
+) -> dict:
+    payload: dict = {
+        "benchmark": "optimizer_quality",
+        "config": config or {},
+        "layouts": {},
+    }
+    for name, outcome in outcomes.items():
+        payload["layouts"][name] = {
+            "feedback": outcome.feedback,
+            "optimal_rate_1_5x": round(outcome.optimal_rate(1.5), 4),
+            "worst_ratio": round(outcome.worst_ratio(), 4),
+            "plans_changed_by_feedback": sum(
+                1 for q in outcome.queries if q.plan_changed
+            ),
+            "queries": [q.to_dict() for q in outcome.queries],
+        }
+    if gate is not None:
+        payload["gate"] = gate.to_dict()
+    return payload
+
+
+def render_report(
+    outcomes: dict[str, LayoutOutcome], gate: GateResult | None = None
+) -> str:
+    """Human-readable best-vs-chosen table, one block per layout."""
+    lines: list[str] = []
+    for name in sorted(outcomes):
+        outcome = outcomes[name]
+        lines.append(
+            f"== {name} (feedback {'on' if outcome.feedback else 'off'}) =="
+        )
+        lines.append(
+            f"{'seed':>4}  {'plans':>5}  {'best':>7}  {'chosen':>7}  "
+            f"{'ratio':>6}  {'after':>6}  {'q-err':>6}  sql"
+        )
+        for q in outcome.queries:
+            q_err = f"{q.max_q_error:.1f}" if q.max_q_error else "-"
+            sql = q.sql if len(q.sql) <= 60 else q.sql[:57] + "..."
+            lines.append(
+                f"{q.seed:>4}  {q.alternatives:>5}  {q.best.work:>7}  "
+                f"{q.chosen.work:>7}  {q.ratio_before:>6.2f}  "
+                f"{q.ratio_after:>6.2f}  {q_err:>6}  {sql}"
+            )
+        changed = sum(1 for q in outcome.queries if q.plan_changed)
+        lines.append(
+            f"  optimal rate (1.5x): {outcome.optimal_rate(1.5):.0%}  "
+            f"worst: {outcome.worst_ratio():.2f}x  "
+            f"feedback changed {changed} plan(s)"
+        )
+        lines.append("")
+    if gate is not None:
+        status = "PASS" if gate.passed else "FAIL"
+        lines.append(f"GATE [{gate.layout}] {status}: {gate.detail}")
+    return "\n".join(lines)

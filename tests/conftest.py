@@ -1,0 +1,29 @@
+"""Shared fixtures for the test suite.
+
+``replay_rng`` gives randomized tests (stress, crash-matrix, property
+suites) a deterministic per-test RNG with a replayable seed: derived
+from the test's node id by default, so every test draws a distinct but
+stable stream, and overridable for replaying a failure::
+
+    REPRO_TEST_SEED=123456 pytest tests/engine/test_lock_stress.py
+
+The seed is printed to captured stdout, so a failing test's report
+always shows the exact seed to replay it with.
+"""
+
+import os
+import random
+import zlib
+
+import pytest
+
+
+@pytest.fixture
+def replay_rng(request):
+    override = os.environ.get("REPRO_TEST_SEED")
+    if override is not None:
+        seed = int(override)
+    else:
+        seed = zlib.crc32(request.node.nodeid.encode("utf-8"))
+    print(f"[replay] REPRO_TEST_SEED={seed} ({request.node.nodeid})")
+    return random.Random(seed)

@@ -1,0 +1,210 @@
+"""Table-driven unit tests for the planner's cost model.
+
+Covers :meth:`Planner._estimate_access` (static index statistics, the
+0.5-per-column fallback, and cardinality-feedback overrides) and the
+ADVANCED profile's join ordering / join-method choices on the shared
+corpus schema, where every expectation is hand-checkable: p has 60 rows
+under unique ``p_pk(id)``, c has 180 rows (3 per parent) under
+``c_fk(parent, id)``.
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.engine import PlanDirectives
+from repro.engine.explain import render_plan
+from repro.engine.optimizer import PlanError
+from repro.quality.corpus import build_engine_database
+
+
+@pytest.fixture(scope="module")
+def db():
+    return build_engine_database()
+
+
+def entry_for(db, table_name):
+    """The minimal view of a FROM-list entry `_estimate_access` reads."""
+    table = db.catalog.table(table_name)
+    return SimpleNamespace(table=table, est_rows=float(table.row_count))
+
+
+class TestEstimateAccess:
+    CASES = [
+        # (table, bound columns, expected rows, why)
+        ("p", [], 60.0, "unbound: the catalog row count"),
+        ("p", ["id"], 1.0, "full unique index match"),
+        ("p", ["grp"], 30.0, "no index: 60 * 0.5"),
+        ("p", ["grp", "amount"], 15.0, "no index: 60 * 0.5^2"),
+        ("c", [], 180.0, "unbound: the catalog row count"),
+        ("c", ["parent"], 3.0, "c_fk prefix: 180 rows / 60 distinct"),
+        ("c", ["parent", "id"], 1.0, "c_fk full prefix: 180 / 180"),
+        ("c", ["id"], 90.0, "id is not a c_fk prefix: 180 * 0.5"),
+    ]
+
+    @pytest.mark.parametrize(
+        "table,cols,expected,why", CASES, ids=[c[3] for c in CASES]
+    )
+    def test_static_model(self, db, table, cols, expected, why):
+        planner = db._planner
+        assert planner._estimate_access(entry_for(db, table), cols) == expected
+
+    def test_feedback_overrides_static(self, db):
+        db.feedback.observe("p", ["grp"], 12.0)
+        try:
+            est = db._planner._estimate_access(entry_for(db, "p"), ["grp"])
+            assert est == 12.0
+        finally:
+            db.feedback.clear()
+
+    def test_feedback_zero_rows_clamped(self, db):
+        db.feedback.observe("c", ["val"], 0.0)
+        try:
+            est = db._planner._estimate_access(entry_for(db, "c"), ["val"])
+            assert est == pytest.approx(0.1)
+        finally:
+            db.feedback.clear()
+
+    def test_unbound_access_ignores_feedback(self, db):
+        """Empty-column keys are never stored: the row count is exact."""
+        assert not db.feedback.observe("p", [], 7.0)
+        assert db._planner._estimate_access(entry_for(db, "p"), []) == 60.0
+
+
+def access_sequence(root):
+    """(op, binding) pairs for every base-table access, in plan order —
+    the join order the ADVANCED profile chose."""
+    out = []
+
+    def visit(node):
+        binding = getattr(node, "binding", None)
+        if binding is not None and node.op_name in ("TBSCAN", "IXSCAN"):
+            out.append((node.op_name, binding))
+        for child in node.children():
+            visit(child)
+
+    visit(root)
+    return out
+
+
+def shape(root):
+    text = render_plan(root)
+    return [line.strip().split()[0] for line in text.splitlines()]
+
+
+class TestAdvancedJoinOrdering:
+    CASES = [
+        # (sql, expected access sequence, expected join ops, why)
+        (
+            "SELECT p.id FROM p, c WHERE p.id = c.parent",
+            [("TBSCAN", "p"), ("TBSCAN", "c")],
+            ["HSJOIN"],
+            "unrestricted: scan both, hash — probing 60x costs more",
+        ),
+        (
+            "SELECT p.id FROM p, c WHERE p.id = c.parent AND p.id = 5",
+            [("IXSCAN", "p"), ("IXSCAN", "c")],
+            ["NLJOIN"],
+            "single-row driver: per-row index probes beat a hash build",
+        ),
+        (
+            "SELECT p.id FROM p, c WHERE p.id = c.parent AND p.grp = 3",
+            [("TBSCAN", "p"), ("IXSCAN", "c")],
+            ["NLJOIN"],
+            "restricted driver (est 30): 30 probes still beat 180+180",
+        ),
+        (
+            "SELECT c.id FROM c, p WHERE p.id = c.parent AND c.id = 100",
+            [("TBSCAN", "p"), ("IXSCAN", "c")],
+            ["NLJOIN"],
+            "p (60 rows) drives even when written second in FROM",
+        ),
+        (
+            "SELECT p.id FROM p, c, c AS d "
+            "WHERE p.id = c.parent AND d.parent = p.id",
+            [("TBSCAN", "p"), ("TBSCAN", "c"), ("TBSCAN", "d")],
+            ["HSJOIN", "HSJOIN"],
+            "three-way unrestricted: hash chain off the smallest table",
+        ),
+    ]
+
+    @pytest.mark.parametrize(
+        "sql,accesses,joins,why", CASES, ids=[c[3] for c in CASES]
+    )
+    def test_order_and_method(self, db, sql, accesses, joins, why):
+        root = db.plan(sql)
+        assert access_sequence(root) == accesses, render_plan(root)
+        ops = shape(root)
+        assert [op for op in ops if op.endswith("JOIN")] == joins, ops
+
+    def test_all_orders_return_same_rows(self, db):
+        sql = "SELECT p.id, c.id FROM p, c WHERE p.id = c.parent AND p.grp = 2"
+        baseline = sorted(db.execute(sql).rows)
+        for order in [(0, 1), (1, 0)]:
+            root = db.plan(sql, directives=PlanDirectives(join_order=order))
+            result = db.execute_plan(root)
+            assert sorted(result.rows) == baseline, order
+
+
+class TestPlanDirectives:
+    def test_join_order_is_honored(self, db):
+        sql = "SELECT p.id FROM p, c WHERE p.id = c.parent"
+        forced = db.plan(sql, directives=PlanDirectives(join_order=(1, 0)))
+        assert access_sequence(forced)[0][1] == "c"
+
+    def test_forced_scan_forbids_index(self, db):
+        sql = "SELECT p.id FROM p, c WHERE p.id = c.parent AND p.id = 5"
+        forced = db.plan(
+            sql, directives=PlanDirectives(access_paths=(("scan", "scan")))
+        )
+        assert all(op == "TBSCAN" for op, _ in access_sequence(forced))
+
+    def test_forced_join_methods(self, db):
+        sql = "SELECT p.id FROM p, c WHERE p.id = c.parent AND p.id = 5"
+        hashed = db.plan(sql, directives=PlanDirectives(join_methods=(None, "hash")))
+        assert "HSJOIN" in shape(hashed)
+        nested = db.plan(sql, directives=PlanDirectives(join_methods=(None, "nl")))
+        assert "NLJOIN" in shape(nested)
+
+    def test_incomplete_join_order_rejected(self, db):
+        sql = "SELECT p.id FROM p, c WHERE p.id = c.parent"
+        with pytest.raises(PlanError):
+            db.plan(sql, directives=PlanDirectives(join_order=(0,)))
+
+
+class TestFeedbackDrivenChoices:
+    def test_wide_range_demoted_to_scan(self, db):
+        """A range matching most of the index teaches its pre-residual
+        key; re-planning swaps the useless index scan for TBSCAN."""
+        sql = "SELECT c.val FROM c WHERE c.parent <= 64 AND c.id <= 28"
+        before = shape(db.plan(sql))
+        assert "IXSCAN" in before
+        db.feedback.observe("c", ["parent:range"], 180.0)
+        try:
+            after = shape(db.plan(sql))
+            assert "IXSCAN" not in after and "TBSCAN" in after
+        finally:
+            db.feedback.clear()
+
+    def test_narrow_range_keeps_index(self, db):
+        sql = "SELECT c.val FROM c WHERE c.parent <= 64 AND c.id <= 28"
+        db.feedback.observe("c", ["parent:range"], 2.0)
+        try:
+            assert "IXSCAN" in shape(db.plan(sql))
+        finally:
+            db.feedback.clear()
+
+    def test_empty_driver_flips_hash_to_nested_loop(self, db):
+        """Learning that the driving scan yields ~0 rows makes per-row
+        probes (which then never happen) the cheaper join method."""
+        sql = "SELECT p.id FROM p, c WHERE p.id = c.parent AND p.grp = 3"
+        db.feedback.observe("p", ["grp"], 60.0)
+        try:
+            assert "HSJOIN" in shape(db.plan(sql))
+            db.feedback.observe("p", ["grp"], 0.0)
+            db.feedback.observe("p", ["grp"], 0.0)
+            db.feedback.observe("p", ["grp"], 0.0)
+            db.feedback.observe("p", ["grp"], 0.0)
+            assert "NLJOIN" in shape(db.plan(sql))
+        finally:
+            db.feedback.clear()

@@ -3,18 +3,26 @@
 SQLite serves as the reference implementation for the SQL subset's
 semantics.  Hand-picked cases cover the constructs the transformation
 layer relies on; a hypothesis-driven case generates random conjunctive
-point/range queries over a shared dataset; and a seeded generator
-(:func:`generate_query`) composes whole SELECTs — projections,
-predicates, joins, GROUP BY — that must match SQLite row for row.
+point/range queries over a shared dataset; and the shared corpus
+generator (:func:`repro.quality.corpus.generate_query` — the same
+queries the optimizer-quality harness replays) composes whole SELECTs —
+projections, predicates incl. IN/BETWEEN, two- and three-way joins,
+GROUP BY/HAVING, ORDER BY expressions — that must match SQLite row for
+row.
 """
 
-import random
 import sqlite3
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.engine import Database
+from repro.quality.corpus import (
+    ENGINE_DDL,
+    ENGINE_INDEXES,
+    build_engine_database,
+    corpus_rows,
+    generate_query,
+)
 
 
 def normalize(rows):
@@ -30,35 +38,20 @@ def normalize(rows):
 
 @pytest.fixture(scope="module")
 def pair():
-    """Identically-populated engine and SQLite databases."""
-    engine = Database()
+    """Identically-populated engine and SQLite databases, built from the
+    shared corpus so harness findings replay here verbatim."""
+    engine = build_engine_database()
     lite = sqlite3.connect(":memory:")
-    ddl = [
-        "CREATE TABLE p (id INTEGER NOT NULL, grp INTEGER, amount INTEGER, "
-        "name VARCHAR(30))",
-        "CREATE TABLE c (id INTEGER NOT NULL, parent INTEGER, val INTEGER, "
-        "tag VARCHAR(10))",
-    ]
-    indexes = [
-        "CREATE UNIQUE INDEX p_pk ON p (id)",
-        "CREATE INDEX c_fk ON c (parent, id)",
-    ]
-    for sql in ddl:
-        engine.execute(sql)
-        lite.execute(sql.replace("VARCHAR(30)", "TEXT").replace("VARCHAR(10)", "TEXT"))
-    for sql in indexes:
-        engine.execute(sql)
-        lite.execute(sql.replace(" ON c (parent, id)", " ON c (parent, id)"))
-    rows_p, rows_c = [], []
-    for i in range(1, 61):
-        rows_p.append((i, i % 7, i * 13 % 101, f"name{i % 9}"))
-        for j in range(3):
-            rows_c.append((i * 10 + j, i, (i * j) % 17, f"t{j}"))
+    for sql in ENGINE_DDL:
+        lite.execute(
+            sql.replace("VARCHAR(30)", "TEXT").replace("VARCHAR(10)", "TEXT")
+        )
+    for sql in ENGINE_INDEXES:
+        lite.execute(sql)
+    rows_p, rows_c = corpus_rows()
     for row in rows_p:
-        engine.execute("INSERT INTO p VALUES (?, ?, ?, ?)", list(row))
         lite.execute("INSERT INTO p VALUES (?, ?, ?, ?)", row)
     for row in rows_c:
-        engine.execute("INSERT INTO c VALUES (?, ?, ?, ?)", list(row))
         lite.execute("INSERT INTO c VALUES (?, ?, ?, ?)", row)
     return engine, lite
 
@@ -130,80 +123,13 @@ class TestDmlAgreement:
         compare(pair, "SELECT COUNT(*) FROM c")
 
 
-# -- seeded whole-query generator ---------------------------------------------
-
-#: (column, is_numeric) pools per table alias.
-_P_COLUMNS = [("id", True), ("grp", True), ("amount", True), ("name", False)]
-_C_COLUMNS = [("id", True), ("parent", True), ("val", True), ("tag", False)]
-_OPS = ["=", "<", ">", "<=", ">=", "<>"]
-_AGGS = ["COUNT(*)", "SUM", "MIN", "MAX"]
-
-
-def _predicate(rng: random.Random, alias: str, columns) -> str:
-    column, numeric = rng.choice(columns)
-    op = rng.choice(_OPS)
-    if numeric:
-        value = rng.randrange(-5, 120)
-        return f"{alias}.{column} {op} {value}"
-    pool = (
-        [f"'name{i}'" for i in range(9)]
-        if column == "name"
-        else [f"'t{i}'" for i in range(3)]
-    )
-    return f"{alias}.{column} {op} {rng.choice(pool)}"
-
-
-def generate_query(seed: int) -> str:
-    """One deterministic random SELECT: single-table or join, optional
-    GROUP BY with aggregates, 0-2 conjunctive predicates."""
-    rng = random.Random(seed)
-    join = rng.random() < 0.5
-    grouped = rng.random() < 0.4
-
-    if join:
-        tables = "p, c"
-        conjuncts = ["p.id = c.parent"]
-        scope = [("p", c, n) for c, n in _P_COLUMNS] + [
-            ("c", c, n) for c, n in _C_COLUMNS
-        ]
-    else:
-        alias = rng.choice(["p", "c"])
-        tables = alias
-        conjuncts = []
-        scope = [
-            (alias, c, n)
-            for c, n in (_P_COLUMNS if alias == "p" else _C_COLUMNS)
-        ]
-    for _ in range(rng.randrange(3)):
-        alias = rng.choice(sorted({a for a, _, _ in scope}))
-        columns = _P_COLUMNS if alias == "p" else _C_COLUMNS
-        conjuncts.append(_predicate(rng, alias, columns))
-
-    if grouped:
-        g_alias, g_column, _ = rng.choice(scope)
-        group_expr = f"{g_alias}.{g_column}"
-        numeric = [
-            f"{a}.{c}" for a, c, n in scope if n and f"{a}.{c}" != group_expr
-        ]
-        selects = [group_expr]
-        for _ in range(rng.randrange(1, 3)):
-            agg = rng.choice(_AGGS)
-            selects.append(
-                "COUNT(*)" if agg == "COUNT(*)" else f"{agg}({rng.choice(numeric)})"
-            )
-        tail = f" GROUP BY {group_expr}"
-    else:
-        count = rng.randrange(1, min(4, len(scope)) + 1)
-        selects = [f"{a}.{c}" for a, c, _ in rng.sample(scope, count)]
-        tail = ""
-
-    where = f" WHERE {' AND '.join(conjuncts)}" if conjuncts else ""
-    return f"SELECT {', '.join(selects)} FROM {tables}{where}{tail}"
+# -- shared corpus generator ---------------------------------------------------
 
 
 class TestGeneratedQueries:
-    """Row-for-row agreement on generator output.  The seeds are fixed,
-    so the suite always runs the same 45 queries."""
+    """Row-for-row agreement on corpus-generator output.  The seeds are
+    fixed, so the suite always runs the same 45 queries — the first 15
+    of which are exactly the optimizer-quality harness's corpus."""
 
     @pytest.mark.parametrize("seed", range(45))
     def test_generated_query_matches_sqlite(self, pair, seed):
@@ -217,7 +143,15 @@ class TestGeneratedQueries:
     def test_generator_covers_shapes(self):
         queries = [generate_query(s) for s in range(45)]
         assert any("GROUP BY" in q for q in queries)
-        assert any("p, c" in q for q in queries)
+        assert any("p, c" in q and "AS d" not in q for q in queries)
+        assert any("p, c, c AS d" in q for q in queries)
+        assert any(" IN (" in q for q in queries)
+        assert any(" BETWEEN " in q for q in queries)
+        assert any(" HAVING " in q for q in queries)
+        assert any(
+            "ORDER BY" in q and " + " in q.split("ORDER BY")[-1]
+            for q in queries
+        )
         assert any("WHERE" in q and "GROUP BY" not in q for q in queries)
 
 

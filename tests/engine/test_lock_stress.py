@@ -9,7 +9,6 @@ work leaves no trace, and every lock metric is non-negative and
 monotonically non-decreasing across the whole run.
 """
 
-import random
 
 import pytest
 
@@ -40,11 +39,11 @@ def read_value(db, row_id):
 
 
 class TestInterleavedTransactions:
-    def test_no_lost_updates(self, db):
+    def test_no_lost_updates(self, db, replay_rng):
         """Round-robin read-modify-write increments; every committed
         increment must be visible in the final state, every rolled-back
         one must not."""
-        rng = random.Random(42)
+        rng = replay_rng
         committed = {row_id: 0 for row_id in range(ROWS)}
         snapshots = []
         for round_no in range(ROUNDS):

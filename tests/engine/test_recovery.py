@@ -391,7 +391,7 @@ def _verify(mtd: MultiTenantDatabase, expected: dict) -> None:
         assert got == rows, f"tenant {tenant_id}: {got} != {rows}"
 
 
-def _crashpoint_schedule(tmp_path, layout: str) -> list[int]:
+def _crashpoint_schedule(tmp_path, layout: str, rng: random.Random) -> list[int]:
     """Enumerate the crashpoint hits of the full workload (an unarmed
     injector only counts) and pick the first hit of every distinct
     crashpoint name, the final hit, and a few seeded extras — covering
@@ -414,15 +414,14 @@ def _crashpoint_schedule(tmp_path, layout: str) -> list[int]:
     for index, name in enumerate(sequence[baseline : baseline + total], start=1):
         first_of.setdefault(name, index)
     hits = set(first_of.values()) | {total}
-    rng = random.Random(f"recovery-{layout}")
     extra = [h for h in range(1, total + 1) if h not in hits]
     hits |= set(rng.sample(extra, min(3, len(extra))))
     return sorted(hits)
 
 
 @pytest.mark.parametrize("layout", ALL_LAYOUTS)
-def test_crashpoint_matrix(tmp_path, layout):
-    schedule = _crashpoint_schedule(tmp_path, layout)
+def test_crashpoint_matrix(tmp_path, layout, replay_rng):
+    schedule = _crashpoint_schedule(tmp_path, layout, replay_rng)
     assert schedule, "the workload must cross crashpoints"
     for hit in schedule:
         path = tmp_path / f"crash-{hit}"

@@ -1,0 +1,155 @@
+"""Unit tests for the optimizer-quality harness itself.
+
+The quick tests run a couple of corpus seeds on the conventional layout
+and check the harness's accounting: plan-space enumeration, work-cost
+bookkeeping, feedback's before/after measurement, the gate, and the
+JSON report.  The full 8-layout sweep (what CI's ``optimizer-quality``
+job runs via the CLI) is marked ``slow``.
+"""
+
+import json
+
+import pytest
+
+from repro.engine.sql.parser import parse_statement
+from repro.quality import __main__ as cli
+from repro.quality.corpus import build_engine_database
+from repro.quality.harness import (
+    HarnessConfig,
+    all_layouts,
+    run_harness,
+    run_layout,
+)
+from repro.quality.planspace import enumerate_plans
+from repro.quality.report import evaluate_gate, render_report, report_to_json
+
+
+class TestPlanSpace:
+    def test_default_plan_first_and_signatures_unique(self):
+        db = build_engine_database()
+        stmt = parse_statement(
+            "SELECT p.id FROM p, c WHERE p.id = c.parent AND p.grp = 1"
+        )
+        alternatives = enumerate_plans(db, stmt, budget=24)
+        assert alternatives[0].is_default
+        signatures = [a.signature for a in alternatives]
+        assert len(signatures) == len(set(signatures))
+        assert len(alternatives) > 1
+
+    def test_budget_bounds_enumeration(self):
+        db = build_engine_database()
+        stmt = parse_statement(
+            "SELECT p.id FROM p, c, c AS d "
+            "WHERE p.id = c.parent AND d.parent = p.id"
+        )
+        assert len(enumerate_plans(db, stmt, budget=4)) <= 4
+
+    def test_single_table_no_alternatives_still_has_default(self):
+        db = build_engine_database()
+        stmt = parse_statement("SELECT p.id FROM p")
+        alternatives = enumerate_plans(db, stmt, budget=24)
+        assert alternatives[0].is_default
+
+
+@pytest.fixture(scope="module")
+def outcome():
+    return run_layout("conventional", seeds=[3, 9], budget=8, feedback=True)
+
+
+class TestRunLayout:
+    def test_best_never_exceeds_chosen(self, outcome):
+        for q in outcome.queries:
+            assert q.best.work <= q.chosen.work
+            assert q.ratio_before >= 1.0
+            assert q.ratio_after >= 1.0
+
+    def test_feedback_improves_or_keeps(self, outcome):
+        # Seeds 3 and 9 are exactly the shapes feedback fixes (a wide
+        # range scan and an unrestricted join): after observation the
+        # chosen plan must be the enumerated best.
+        for q in outcome.queries:
+            assert q.ratio_after <= q.ratio_before
+            assert q.ratio_after == pytest.approx(1.0)
+
+    def test_q_error_recorded(self, outcome):
+        assert any(q.max_q_error is not None for q in outcome.queries)
+        for q in outcome.queries:
+            if q.max_q_error is not None:
+                assert q.max_q_error >= 1.0
+
+    def test_feedback_off_keeps_static_choice(self):
+        static = run_layout("conventional", seeds=[3], budget=8, feedback=False)
+        (q,) = static.queries
+        assert q.chosen_after.signature == q.chosen.signature
+        assert not q.plan_changed
+
+    def test_all_layouts_listed(self):
+        layouts = all_layouts()
+        assert layouts[0] == "conventional"
+        assert len(layouts) == 8
+
+
+class TestGateAndReport:
+    def test_gate_passes_on_optimal_outcome(self, outcome):
+        gate = evaluate_gate({"conventional": outcome})
+        assert gate.passed
+        assert gate.optimal_rate == 1.0
+
+    def test_gate_fails_on_missing_layout(self, outcome):
+        gate = evaluate_gate({}, layout="conventional")
+        assert not gate.passed
+
+    def test_gate_honors_thresholds(self, outcome):
+        strict = evaluate_gate(
+            {"conventional": outcome}, threshold=0.5, required_rate=1.0
+        )
+        assert not strict.passed
+        assert "seed" in strict.detail
+
+    def test_report_roundtrips_to_json(self, outcome):
+        gate = evaluate_gate({"conventional": outcome})
+        payload = report_to_json({"conventional": outcome}, gate)
+        encoded = json.loads(json.dumps(payload))
+        assert encoded["benchmark"] == "optimizer_quality"
+        layer = encoded["layouts"]["conventional"]
+        assert layer["feedback"] is True
+        assert len(layer["queries"]) == 2
+        assert encoded["gate"]["passed"] is True
+
+    def test_render_report_mentions_gate(self, outcome):
+        gate = evaluate_gate({"conventional": outcome})
+        text = render_report({"conventional": outcome}, gate)
+        assert "GATE [conventional] PASS" in text
+        assert "optimal rate" in text
+
+
+class TestCli:
+    def test_cli_writes_results_and_gates(self, tmp_path):
+        out = tmp_path / "results.json"
+        code = cli.main(
+            [
+                "--seeds", "2",
+                "--budget", "6",
+                "--layouts", "conventional",
+                "--gate",
+                "--output", str(out),
+            ]
+        )
+        assert code == 0
+        payload = json.loads(out.read_text())
+        assert payload["gate"]["layout"] == "conventional"
+        assert payload["config"]["seeds"] == 2
+
+    def test_cli_rejects_unknown_layout(self):
+        with pytest.raises(SystemExit):
+            cli.main(["--layouts", "nope"])
+
+
+@pytest.mark.slow
+def test_full_sweep_all_layouts_gate_passes():
+    """The CI ``optimizer-quality`` job's assertion, as a test: the full
+    corpus on every layout, gate evaluated on the conventional one."""
+    outcomes = run_harness(HarnessConfig())
+    assert set(outcomes) == set(all_layouts())
+    gate = evaluate_gate(outcomes)
+    assert gate.passed, gate.detail
