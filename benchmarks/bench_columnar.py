@@ -1,0 +1,239 @@
+"""Columnar storage — wall-clock, column pages vs row-major heap.
+
+Not a paper figure: this benchmark records what the :class:`ColumnStore`
+buys on the paper's chunk-table workloads.  The paper's "Additional
+Tests" found grouping queries on chunk tables ~2x slower than on
+conventional tables; late-materializing column scans plus the
+vectorized engine are this repo's answer, and the gates here pin that
+answer down on chunk width 6 (the paper's most fragmented plotted
+layout):
+
+* **grouping microbench** — full child-table scan feeding GROUP BY with
+  COUNT/MAX aggregates; the columnar stack must be **>= 2x** the
+  row-major tuple baseline;
+* **Figure 9 warm harness** — Q2 at scale 30 swept over parent ids with
+  a warm buffer pool; the columnar stack must be **>= 1.5x**.
+
+Every (storage x engine) cell runs the same queries over identically
+loaded databases; timing rounds are *interleaved* across cells so
+machine noise hits every cell equally, and each cell reports its best
+round.  A parity test asserts rows and warm logical reads are identical
+across all four cells — the columnar format changes how fast pages are
+processed, never which pages are touched or what comes back.
+
+Results land in ``benchmarks/results/BENCH_columnar.json``; CI uploads
+all ``BENCH_*.json`` files as artifacts, so the perf trajectory is
+recorded run over run.
+"""
+
+import json
+import pathlib
+import time
+
+import pytest
+
+from repro.experiments.chunkqueries import (
+    ChunkQueryConfig,
+    ChunkQueryExperiment,
+    TENANT,
+    q2_sql,
+)
+
+RESULTS_PATH = (
+    pathlib.Path(__file__).parent / "results" / "BENCH_columnar.json"
+)
+
+#: Paper-faithful child cardinality (Experiment 2 loads 100 children
+#: per parent); the per-query probe work then dominates fixed per-query
+#: cost, which is what the Fig 9 gate measures.
+CONFIG = ChunkQueryConfig(parents=30, children_per_parent=100)
+
+#: Q2 scale factor for the warm harness (middle of the paper's sweep,
+#: same as bench_vectorized).
+Q2_SCALE = 30
+#: Parent ids swept per harness pass.
+Q2_PARENTS = 20
+
+WARMUP = 2
+ROUNDS = 5
+
+#: Same grouping query as bench_vectorized: GROUP BY the foreign key
+#: with COUNT plus MAX aggregates over two data columns, so the
+#: scan/accumulation loop is the measured cost.
+GROUPING_SQL = (
+    "SELECT c.parent, COUNT(*) AS n, MAX(c.col1) AS m1, MAX(c.col4) AS m4 "
+    "FROM child c GROUP BY c.parent ORDER BY n DESC"
+)
+
+#: (storage, engine) cells measured per layout.  The gate compares the
+#: PR's default stack (columnar pages + vectorized engine) against the
+#: row-major tuple-at-a-time baseline; the off-diagonal cells isolate
+#: how much each half contributes.
+CELLS = (
+    ("heap", "tuple"),
+    ("heap", "vectorized"),
+    ("columnar", "tuple"),
+    ("columnar", "vectorized"),
+)
+
+
+def _build(layout: str, storage: str, **options) -> ChunkQueryExperiment:
+    exp = ChunkQueryExperiment(layout, CONFIG, storage=storage, **options)
+    exp.load()
+    return exp
+
+
+def _runners(exp: ChunkQueryExperiment, engine: str):
+    """(grouping, fig9) timing thunks for one storage x engine cell."""
+    db = exp.mtd.db
+    grouping_sql = exp.mtd.transform_sql(TENANT, GROUPING_SQL)
+    q2 = exp.mtd.transform_sql(TENANT, q2_sql(Q2_SCALE))
+
+    def run_grouping() -> float:
+        db.execution = engine
+        start = time.perf_counter()
+        db.execute(grouping_sql)
+        return time.perf_counter() - start
+
+    def run_fig9() -> float:
+        db.execution = engine
+        start = time.perf_counter()
+        for parent_id in range(1, Q2_PARENTS + 1):
+            db.execute(q2, [parent_id])
+        return time.perf_counter() - start
+
+    return run_grouping, run_fig9
+
+
+def measure_layout(layout: str, **options) -> dict:
+    """All four storage x engine cells, interleaved best-of timing."""
+    experiments = {
+        storage: _build(layout, storage, **options)
+        for storage in ("heap", "columnar")
+    }
+    runners = {
+        (storage, engine): _runners(experiments[storage], engine)
+        for storage, engine in CELLS
+    }
+    best: dict[tuple, list[float]] = {
+        cell: [float("inf"), float("inf")] for cell in CELLS
+    }
+    for round_no in range(WARMUP + ROUNDS):
+        for cell, (run_grouping, run_fig9) in runners.items():
+            grouping_s = run_grouping()
+            fig9_s = run_fig9()
+            if round_no >= WARMUP:
+                best[cell][0] = min(best[cell][0], grouping_s)
+                best[cell][1] = min(best[cell][1], fig9_s)
+    result: dict = {
+        storage: {
+            engine: {
+                "grouping_s": best[(storage, engine)][0],
+                "fig9_s": best[(storage, engine)][1],
+            }
+            for s2, engine in CELLS
+            if s2 == storage
+        }
+        for storage in ("heap", "columnar")
+    }
+    baseline = result["heap"]["tuple"]
+    stack = result["columnar"]["vectorized"]
+    result["speedup_grouping"] = (
+        baseline["grouping_s"] / stack["grouping_s"]
+    )
+    result["speedup_fig9"] = baseline["fig9_s"] / stack["fig9_s"]
+    result["_experiments"] = experiments
+    return result
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    results = {
+        "config": {
+            "parents": CONFIG.parents,
+            "children_per_parent": CONFIG.children_per_parent,
+            "q2_scale": Q2_SCALE,
+            "q2_parents_swept": Q2_PARENTS,
+            "rounds": ROUNDS,
+        },
+        "chunk6": measure_layout("chunk", width=6),
+        "conventional": measure_layout("private"),
+    }
+    recorded = {
+        label: {
+            key: value
+            for key, value in section.items()
+            if not key.startswith("_")
+        }
+        if isinstance(section, dict)
+        else section
+        for label, section in results.items()
+    }
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(recorded, indent=2) + "\n")
+    return results
+
+
+class TestColumnarSpeedup:
+    def test_report(self, benchmark, measurements, report):
+        benchmark.pedantic(lambda: None, rounds=1)
+        lines = [
+            "Columnar vs row-major storage, wall clock (best of "
+            f"{ROUNDS} interleaved), "
+            f"{CONFIG.parents}x{CONFIG.children_per_parent}",
+            f"{'layout':>14} {'storage':>9} {'engine':>11} "
+            f"{'grouping ms':>12} {'fig9 ms':>9}",
+        ]
+        for label in ("chunk6", "conventional"):
+            section = measurements[label]
+            for storage, engine in CELLS:
+                cell = section[storage][engine]
+                lines.append(
+                    f"{label:>14} {storage:>9} {engine:>11} "
+                    f"{cell['grouping_s'] * 1000:>12.2f} "
+                    f"{cell['fig9_s'] * 1000:>9.2f}"
+                )
+            lines.append(
+                f"{label:>14} columnar+vectorized over heap+tuple: "
+                f"grouping {section['speedup_grouping']:.2f}x, "
+                f"fig9 {section['speedup_fig9']:.2f}x"
+            )
+        report("BENCH_columnar", "\n".join(lines))
+
+    def test_chunk6_grouping_gate(self, measurements):
+        """Columnar + vectorized must be >= 2x the row-major tuple
+        baseline on the chunk6 grouping microbench."""
+        assert measurements["chunk6"]["speedup_grouping"] >= 2.0
+
+    def test_chunk6_fig9_gate(self, measurements):
+        """... and >= 1.5x on the chunk6 Figure 9 warm harness."""
+        assert measurements["chunk6"]["speedup_fig9"] >= 1.5
+
+    def test_rows_and_logical_read_parity(self, measurements):
+        """Every storage x engine cell returns identical rows and touches
+        identical warm page counts — the format changes speed only."""
+        experiments = measurements["chunk6"]["_experiments"]
+        grouping_rows: list = []
+        q2_rows: list = []
+        q2_logical: list = []
+        for storage, engine in CELLS:
+            exp = experiments[storage]
+            db = exp.mtd.db
+            db.execution = engine
+            grouping_sql = exp.mtd.transform_sql(TENANT, GROUPING_SQL)
+            q2 = exp.mtd.transform_sql(TENANT, q2_sql(Q2_SCALE))
+            grouping_rows.append(sorted(db.execute(grouping_sql).rows))
+            db.execute(q2, [3])  # warm every page the trace will touch
+            trace = db.trace(q2, [3], analyze=False)
+            q2_rows.append(sorted(trace.rows))
+            q2_logical.append(trace.logical_reads)
+        assert all(rows == grouping_rows[0] for rows in grouping_rows[1:])
+        assert all(rows == q2_rows[0] for rows in q2_rows[1:])
+        assert all(count == q2_logical[0] for count in q2_logical[1:])
+
+    def test_json_artifact(self, measurements):
+        recorded = json.loads(RESULTS_PATH.read_text())
+        for label in ("chunk6", "conventional"):
+            assert recorded[label]["speedup_grouping"] > 0
+            assert recorded[label]["speedup_fig9"] > 0
+        assert "_experiments" not in recorded["chunk6"]

@@ -29,6 +29,7 @@ from .base import ColumnLoc, Fragment, Layout, ROW, slot_cast, slot_store
 class ChunkFoldingLayout(Layout):
     name = "chunk_folding"
     shares_statements = True
+    default_storage = "columnar"
 
     def __init__(
         self,

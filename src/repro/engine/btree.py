@@ -16,6 +16,7 @@ argument for why these indexes stay cheap.
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
 from typing import Iterator, Sequence
 
@@ -112,6 +113,22 @@ class BTreeIndex:
         # function of the key, so the memo never goes stale; it is the
         # in-memory stand-in for storing normalized keys on the page.
         self._order_cache: dict[tuple, tuple] = {}
+        # page_id -> decorated key list for that node (separators of an
+        # internal node, keys of a leaf).  Spares every descent the
+        # per-comparison ``_order`` memo hits; each mutation pops only
+        # the nodes whose key lists it changes, so bulk loads keep the
+        # hot upper levels decorated.  Runtime-only, never pickled with
+        # the page payloads (re-reading an evicted page reproduces the
+        # same keys, so entries survive eviction).
+        self._node_dec: dict[int, list[tuple]] = {}
+        # search()/_descend() run per index probe; resolve their
+        # registry counters once instead of by name per call.
+        self._c_searches = (
+            metrics.counter("btree.searches") if metrics is not None else None
+        )
+        self._c_descents = (
+            metrics.counter("btree.descents") if metrics is not None else None
+        )
         root = pool.allocate(segment_id, PageKind.INDEX)
         root.payload = _Leaf()
         self._root_id = root.page_id
@@ -151,6 +168,13 @@ class BTreeIndex:
         index._metrics = metrics
         index._prefix_distinct = list(prefix_distinct)
         index._order_cache = {}
+        index._node_dec = {}
+        index._c_searches = (
+            metrics.counter("btree.searches") if metrics is not None else None
+        )
+        index._c_descents = (
+            metrics.counter("btree.descents") if metrics is not None else None
+        )
         index._root_id = root_id
         index.height = height
         return index
@@ -213,38 +237,86 @@ class BTreeIndex:
 
     # -- search -----------------------------------------------------------
 
-    def _descend(self, key: tuple) -> tuple[list[int], _Leaf]:
+    def _descend(
+        self, key: tuple, order: tuple | None = None
+    ) -> tuple[list[int], _Leaf]:
         """Page ids root→leaf for ``key``, plus the leaf payload (each
-        level costs exactly one logical index-page read)."""
-        self._count("descents", "btree.descents")
+        level costs exactly one logical index-page read).  ``order``
+        lets callers that already decorated the key skip the memo hit."""
+        self.descents += 1
+        if self._c_descents is not None:
+            self._c_descents.inc()
         path = [self._root_id]
         node = self._pool.read(self._root_id).payload
-        order = self._order(key)
+        if order is None:
+            order = self._order(key)
+        node_dec = self._node_dec
         while isinstance(node, _Internal):
-            # First child whose separator exceeds the key (binary search:
-            # internal nodes hold hundreds of separators).
-            separators = node.separators
-            lo, hi = 0, len(separators)
-            while lo < hi:
-                mid = (lo + hi) // 2
-                if self._order(separators[mid]) <= order:
-                    lo = mid + 1
-                else:
-                    hi = mid
-            child = node.children[lo]
+            # First child whose separator exceeds the key (bisect over
+            # the node's cached decorated separators — internal nodes
+            # hold hundreds of them).
+            dec = node_dec.get(path[-1])
+            if dec is None:
+                dec = node_dec[path[-1]] = [
+                    self._order(k) for k in node.separators
+                ]
+            child = node.children[bisect_right(dec, order)]
             path.append(child)
             node = self._pool.read(child).payload
         return path, node
 
     def search(self, key: tuple) -> list[RowId]:
         """Exact-match lookup; [] when absent."""
-        self._count("searches", "btree.searches")
-        _, leaf = self._descend(key)
+        self.searches += 1
+        if self._c_searches is not None:
+            self._c_searches.inc()
         order = self._order(key)
-        idx = self._position(leaf.keys, order)
-        if idx < len(leaf.keys) and self._order(leaf.keys[idx]) == order:
-            return list(leaf.rid_lists[idx])
+        path, leaf = self._descend(key, order)
+        keys = leaf.keys
+        dec = self._node_dec.get(path[-1])
+        if dec is None:
+            dec = self._node_dec[path[-1]] = [self._order(k) for k in keys]
+        lo = bisect_left(dec, order)
+        if lo < len(keys) and dec[lo] == order:
+            return list(leaf.rid_lists[lo])
         return []
+
+    def search_one(self, key: tuple) -> RowId | None:
+        """Exact-match lookup on a *unique* index; the RID or ``None``.
+
+        Counter- and page-read-identical to :meth:`search` (one search,
+        one descent, one logical read per level) but allocation-free on
+        the hot path: no root→leaf path list, no RID-list copy.  The
+        vectorized executor's fused probe closures call this once per
+        outer row in reconstruction joins.
+        """
+        self.searches += 1
+        if self._c_searches is not None:
+            self._c_searches.inc()
+        self.descents += 1
+        if self._c_descents is not None:
+            self._c_descents.inc()
+        order = self._order(key)
+        node_dec = self._node_dec
+        read = self._pool.read
+        pid = self._root_id
+        node = read(pid).payload
+        while isinstance(node, _Internal):
+            dec = node_dec.get(pid)
+            if dec is None:
+                dec = node_dec[pid] = [
+                    self._order(k) for k in node.separators
+                ]
+            pid = node.children[bisect_right(dec, order)]
+            node = read(pid).payload
+        keys = node.keys
+        dec = node_dec.get(pid)
+        if dec is None:
+            dec = node_dec[pid] = [self._order(k) for k in keys]
+        lo = bisect_left(dec, order)
+        if lo < len(keys) and dec[lo] == order:
+            return node.rid_lists[lo][0]
+        return None
 
     def scan_prefix(self, prefix: tuple) -> Iterator[tuple[tuple, RowId]]:
         """Yield (key, rid) for every key whose leading columns equal
@@ -352,6 +424,7 @@ class BTreeIndex:
             successor = leaf.keys[idx] if idx < len(leaf.keys) else None
             leaf.keys.insert(idx, key)
             leaf.rid_lists.insert(idx, [rid])
+            self._node_dec.pop(leaf_id, None)
             self.distinct_keys += 1
             self._count_prefixes(key, predecessor, successor, +1)
         self.entry_count += 1
@@ -374,6 +447,7 @@ class BTreeIndex:
         if not rids:
             del leaf.keys[idx]
             del leaf.rid_lists[idx]
+            self._node_dec.pop(leaf_id, None)
             self.distinct_keys -= 1
             predecessor = leaf.keys[idx - 1] if idx > 0 else None
             successor = leaf.keys[idx] if idx < len(leaf.keys) else None
@@ -441,6 +515,7 @@ class BTreeIndex:
             self._pool.unpin(path[-1])
             return
         mid = len(leaf.keys) // 2
+        self._node_dec.pop(path[-1], None)
         right = _Leaf(leaf.keys[mid:], leaf.rid_lists[mid:], leaf.next_page)
         right_page = self._pool.allocate(self.segment_id, PageKind.INDEX)
         right_page.payload = right
@@ -471,6 +546,7 @@ class BTreeIndex:
         idx = node.children.index(left_id)
         node.separators.insert(idx, separator)
         node.children.insert(idx + 1, right_id)
+        self._node_dec.pop(parent_id, None)
         page.used = self._internal_used(node)
         self._pool.mark_dirty(parent_id)
         if page.used <= page.capacity or len(node.separators) < 3:

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from .btree import BTreeIndex
+from .columnstore import ColumnStore
 from .errors import (
     DuplicateObjectError,
     NotNullViolation,
@@ -140,6 +141,11 @@ class Table:
     # -- stats ------------------------------------------------------------------
 
     @property
+    def storage(self) -> str:
+        """Storage format of the backing row store: heap | columnar."""
+        return self.heap.storage_kind
+
+    @property
     def row_count(self) -> int:
         return self.heap.row_count
 
@@ -253,15 +259,35 @@ class Catalog:
 
     # -- DDL ---------------------------------------------------------------
 
-    def create_table(self, name: str, columns: list[Column]) -> Table:
+    def create_table(
+        self,
+        name: str,
+        columns: list[Column],
+        *,
+        storage: str | None = None,
+    ) -> Table:
         if self.has_table(name):
             raise DuplicateObjectError(f"table {name!r} already exists")
-        heap = HeapFile(
-            self._pool,
-            self._next_segment,
-            self.insert_strategy,
-            metrics=self._metrics,
-        )
+        storage = storage or "heap"
+        if storage == "columnar":
+            heap: HeapFile = ColumnStore(
+                self._pool,
+                self._next_segment,
+                self.insert_strategy,
+                ncols=len(columns),
+                metrics=self._metrics,
+            )
+        elif storage == "heap":
+            heap = HeapFile(
+                self._pool,
+                self._next_segment,
+                self.insert_strategy,
+                metrics=self._metrics,
+            )
+        else:
+            raise UnknownObjectError(
+                f"unknown storage format {storage!r} (heap or columnar)"
+            )
         self._next_segment += 1
         table = Table(name, columns, heap)
         self._tables[name.lower()] = table

@@ -1,0 +1,337 @@
+"""Column-major storage for shared tables.
+
+A :class:`ColumnStore` is a drop-in sibling of
+:class:`~repro.engine.heap.HeapFile`: same public surface (``insert`` /
+``fetch`` / ``scan`` / ``scan_batches`` / ``update`` / ``delete`` /
+``restore`` / ``drop``), same page placement policy, same free-space
+accounting, and the same per-structure counters — so indexes, DML,
+checkpoint snapshots, and logical WAL replay all work unchanged.  The
+difference is the page payload: instead of one ``(row, width)`` entry
+per slot, a column page holds one native value list *per column* plus a
+per-column null bitmap, and the batch scan hands those columns to the
+vectorized executor directly (:class:`ColumnBatch`) so predicates run
+against columns before any row tuple is assembled.
+
+Why this matters for the paper: the chunk/pivot/universal layouts store
+*all* tenants in a handful of wide shared tables, and reconstruction
+queries scan them with highly selective meta predicates (``tenant`` /
+``tbl`` / ``chunk``).  Row-major pages force the scan to materialize
+every row before the predicate rejects ~(C-1)/C of them; column pages
+evaluate the predicate on two or three meta columns and only assemble
+the survivors.  That is the storage-side half of closing the paper's
+chunk-table grouping gap (Section 5's "Additional Tests").
+
+Placement parity is deliberate: byte widths, ``ROW_OVERHEAD``, the
+FIRST_FIT tightest-fit search (including its runner-up page read), and
+tombstone slot reuse are identical to the heap, so a table stores the
+same rows on the same number of pages with the same free map whichever
+format it uses — the differential suites assert logical-read parity on
+top of this.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from .errors import ExecutionError
+from .heap import ROW_OVERHEAD, HeapFile, RowId
+from .pager import PageKind
+
+
+class ColumnPage:
+    """Payload of one column-major data page.
+
+    ``columns[c][s]`` is the value of column ``c`` in slot ``s`` (``None``
+    both for SQL NULL and for tombstoned slots — ``widths`` disambiguates).
+    ``nulls[c]`` is the column's null bitmap: bit ``s`` is set iff the live
+    value in slot ``s`` is NULL.  ``widths[s]`` is the stored byte width of
+    the row in slot ``s``, or ``None`` for a tombstone; ``live`` counts the
+    non-tombstone slots so scans can detect dense pages in O(1).
+
+    ``row_cache`` memoizes tuples assembled by point fetches (index
+    probes hit the same hot slots over and over in reconstruction
+    joins); it is transient — dropped on page eviction (not pickled)
+    and invalidated per slot on writes — so it never changes what a
+    fetch returns, only how often the tuple is rebuilt.
+    """
+
+    __slots__ = ("columns", "nulls", "widths", "live", "row_cache")
+
+    def __init__(self, ncols: int) -> None:
+        self.columns: list[list] = [[] for _ in range(ncols)]
+        self.nulls: list[int] = [0] * ncols
+        self.widths: list[int | None] = []
+        self.live = 0
+        self.row_cache: dict[int, tuple] = {}
+
+    # Explicit pickling keeps the on-disk page format stable (and keeps
+    # the transient row cache out of it).
+    def __getstate__(self):
+        return (self.columns, self.nulls, self.widths, self.live)
+
+    def __setstate__(self, state) -> None:
+        self.columns, self.nulls, self.widths, self.live = state
+        self.row_cache = {}
+
+
+class ColumnBatch:
+    """A batch of rows held column-major, materialized lazily.
+
+    Behaves like the ``list[tuple]`` batches the vectorized operators
+    exchange (``len`` / ``iter`` / indexing / slicing), but keeps values
+    in per-column lists until someone actually asks for row tuples.
+    Filters narrow a batch with :meth:`take` — a selection vector over
+    the underlying columns — so a predicate on two meta columns of a
+    ten-column chunk table never touches the other eight unless rows
+    survive.  Operators without a columnar fast path just iterate it and
+    transparently get assembled row tuples.
+    """
+
+    __slots__ = ("_base", "_sel", "_cols", "_rows", "_len")
+
+    def __init__(self, columns: list[list], sel: list[int] | None = None):
+        self._base = columns
+        self._sel = sel
+        self._cols: dict[int, list] | None = {} if sel is not None else None
+        self._rows: list[tuple] | None = None
+        if sel is not None:
+            self._len = len(sel)
+        else:
+            self._len = len(columns[0]) if columns else 0
+
+    @property
+    def width(self) -> int:
+        return len(self._base)
+
+    def col(self, i: int) -> list:
+        """Column ``i`` as a value list (selection applied, cached)."""
+        if self._sel is None:
+            return self._base[i]
+        assert self._cols is not None
+        cached = self._cols.get(i)
+        if cached is None:
+            base, sel = self._base[i], self._sel
+            cached = self._cols[i] = [base[j] for j in sel]
+        return cached
+
+    def take(self, sel: list[int]) -> "ColumnBatch":
+        """Narrow to the given row positions (composes lazily)."""
+        if self._sel is not None:
+            prior = self._sel
+            sel = [prior[j] for j in sel]
+        return ColumnBatch(self._base, sel)
+
+    def rows(self) -> list[tuple]:
+        """Assemble (and cache) the row tuples."""
+        assembled = self._rows
+        if assembled is None:
+            if self._len == 0:
+                assembled = []
+            else:
+                cols = [self.col(i) for i in range(len(self._base))]
+                assembled = list(zip(*cols))
+            self._rows = assembled
+        return assembled
+
+    def __len__(self) -> int:
+        return self._len
+
+    def __bool__(self) -> bool:
+        return self._len > 0
+
+    def __iter__(self):
+        return iter(self.rows())
+
+    def __getitem__(self, item):
+        return self.rows()[item]
+
+
+class ColumnStore(HeapFile):
+    """Column-major row store with heap-identical placement.
+
+    Inherits the free-space map, page choice (FIRST_FIT / APPEND),
+    sizing, ``restore`` and ``drop`` from :class:`HeapFile`; overrides
+    everything that touches page payloads.  ``ncols`` fixes the column
+    count (a physical table's schema never changes shape in place).
+    """
+
+    storage_kind = "columnar"
+
+    def __init__(self, pool, segment_id, strategy, *, ncols: int, metrics=None):
+        super().__init__(pool, segment_id, strategy, metrics=metrics)
+        self.ncols = ncols
+        # fetch() is the reconstruction-join hot path; resolve its
+        # registry counter once instead of by name per call (the count
+        # itself stays identical to the heap's).
+        self._fetch_counter = (
+            metrics.counter("heap.fetches") if metrics is not None else None
+        )
+
+    # -- inserts ----------------------------------------------------------
+
+    def insert(self, row: tuple, width: int) -> RowId:
+        need = width + ROW_OVERHEAD
+        page = self._choose_page(need)
+        if page is None:
+            page = self._pool.allocate(self.segment_id, PageKind.DATA)
+            page.payload = ColumnPage(self.ncols)
+            self._page_ids.append(page.page_id)
+        payload: ColumnPage = page.payload
+        widths = payload.widths
+        slot_no = None
+        for i, existing in enumerate(widths):
+            if existing is None:
+                slot_no = i
+                break
+        if slot_no is None:
+            slot_no = len(widths)
+            widths.append(None)
+            for column in payload.columns:
+                column.append(None)
+        self._write_slot(payload, slot_no, row, width)
+        page.used += need
+        self._free_map[page.page_id] = page.free
+        self._pool.mark_dirty(page.page_id)
+        self.row_count += 1
+        self._count("inserts", "heap.inserts")
+        return RowId(page.page_id, slot_no)
+
+    def _write_slot(
+        self, payload: ColumnPage, slot_no: int, row: tuple, width: int
+    ) -> None:
+        bit = 1 << slot_no
+        nulls = payload.nulls
+        for c, value in enumerate(row):
+            payload.columns[c][slot_no] = value
+            if value is None:
+                nulls[c] |= bit
+            else:
+                nulls[c] &= ~bit
+        payload.widths[slot_no] = width
+        payload.live += 1
+        payload.row_cache.pop(slot_no, None)
+
+    def _clear_slot(self, payload: ColumnPage, slot_no: int) -> None:
+        bit = 1 << slot_no
+        for c, column in enumerate(payload.columns):
+            column[slot_no] = None
+            payload.nulls[c] &= ~bit
+        payload.widths[slot_no] = None
+        payload.live -= 1
+        payload.row_cache.pop(slot_no, None)
+
+    # -- reads ------------------------------------------------------------
+
+    def fetch(self, rid: RowId) -> tuple:
+        """Assemble one row from its column slots (one logical read)."""
+        self.fetches += 1
+        if self._fetch_counter is not None:
+            self._fetch_counter.inc()
+        page = self._pool.read(rid.page_id)
+        payload: ColumnPage = page.payload
+        slot = rid.slot
+        if slot >= len(payload.widths) or payload.widths[slot] is None:
+            raise ExecutionError(f"dangling RID {rid}")
+        row = payload.row_cache.get(slot)
+        if row is None:
+            row = tuple([column[slot] for column in payload.columns])
+            payload.row_cache[slot] = row
+        return row
+
+    def scan(self) -> Iterator[tuple[RowId, tuple]]:
+        """Row-assembly adapter: full scan in physical order, assembling
+        one tuple per live slot — the tuple engine (and index backfill,
+        and DML RID matching) runs unchanged over column pages."""
+        self._count("scans", "heap.scans")
+        for pid in list(self._page_ids):
+            page = self._pool.read(pid)
+            payload: ColumnPage = page.payload
+            columns = payload.columns
+            for slot_no, width in enumerate(payload.widths):
+                if width is not None:
+                    yield (
+                        RowId(pid, slot_no),
+                        tuple(column[slot_no] for column in columns),
+                    )
+
+    def scan_batches(self, batch_rows: int) -> Iterator[ColumnBatch]:
+        """Late-materializing scan: yields :class:`ColumnBatch` objects
+        whose row tuples are only assembled if a downstream operator
+        asks.  Page accounting matches :meth:`scan` exactly (one logical
+        read per page, one ``heap.scans`` tick per call), and batch
+        boundaries match the heap's ``scan_batches`` (full batches of
+        ``batch_rows``, remainder last) so cross-engine and cross-format
+        batch counts line up."""
+        self._count("scans", "heap.scans")
+        pending: list[list] | None = None
+        for pid in list(self._page_ids):
+            page = self._pool.read(pid)
+            payload: ColumnPage = page.payload
+            widths = payload.widths
+            if payload.live == 0:
+                continue
+            if payload.live == len(widths):
+                # Dense page: copy columns wholesale (the page's own
+                # lists stay private — later inserts must not mutate a
+                # batch already yielded downstream).
+                cols = [list(column) for column in payload.columns]
+            else:
+                live = [i for i, w in enumerate(widths) if w is not None]
+                cols = [
+                    [column[i] for i in live] for column in payload.columns
+                ]
+            if pending is None:
+                pending = cols
+            else:
+                for out, col in zip(pending, cols):
+                    out.extend(col)
+            while pending is not None and len(pending[0]) >= batch_rows:
+                if len(pending[0]) == batch_rows:
+                    yield ColumnBatch(pending)
+                    pending = None
+                else:
+                    yield ColumnBatch([col[:batch_rows] for col in pending])
+                    pending = [col[batch_rows:] for col in pending]
+        if pending is not None and pending[0]:
+            yield ColumnBatch(pending)
+
+    # -- updates / deletes -------------------------------------------------
+
+    def update(self, rid: RowId, row: tuple, width: int) -> RowId:
+        self._count("updates", "heap.updates")
+        page = self._pool.read(rid.page_id)
+        payload: ColumnPage = page.payload
+        old_width = (
+            payload.widths[rid.slot]
+            if rid.slot < len(payload.widths)
+            else None
+        )
+        if old_width is None:
+            raise ExecutionError(f"update of deleted RID {rid}")
+        delta = width - old_width
+        if delta <= page.free:
+            self._clear_slot(payload, rid.slot)
+            self._write_slot(payload, rid.slot, row, width)
+            page.used += delta
+            self._free_map[page.page_id] = page.free
+            self._pool.mark_dirty(page.page_id)
+            return rid
+        self.delete(rid)
+        return self.insert(row, width)
+
+    def delete(self, rid: RowId) -> None:
+        self._count("deletes", "heap.deletes")
+        page = self._pool.read(rid.page_id)
+        payload: ColumnPage = page.payload
+        width = (
+            payload.widths[rid.slot]
+            if rid.slot < len(payload.widths)
+            else None
+        )
+        if width is None:
+            raise ExecutionError(f"double delete of RID {rid}")
+        self._clear_slot(payload, rid.slot)
+        page.used -= width + ROW_OVERHEAD
+        self._free_map[page.page_id] = page.free
+        self._pool.mark_dirty(page.page_id)
+        self.row_count -= 1

@@ -672,11 +672,12 @@ class Database:
         columns = [
             Column(c.name, parse_type(c.type_text), c.not_null) for c in stmt.columns
         ]
-        self.catalog.create_table(stmt.table, columns)
+        self.catalog.create_table(stmt.table, columns, storage=stmt.storage)
         self._log_ddl(
             op="create_table",
             table=stmt.table,
             columns=[(c.name, c.type_text, c.not_null) for c in stmt.columns],
+            storage=stmt.storage,
         )
         self._resize_pool()
         return Result([], [], 0)

@@ -280,6 +280,7 @@ def capture_snapshot(db, durability: DurabilityManager) -> dict:
             {
                 "name": table.name,
                 "columns": list(table.columns),
+                "storage": heap.storage_kind,
                 "segment": heap.segment_id,
                 "page_ids": heap.page_ids(),
                 "free_map": heap.free_map(),
@@ -307,16 +308,27 @@ def restore_snapshot(db, snapshot: dict) -> dict | None:
     checkpoint was fuzzy over, or ``None``."""
     from ..btree import BTreeIndex
     from ..catalog import IndexInfo, Table
+    from ..columnstore import ColumnStore
     from ..heap import HeapFile
 
     catalog = db.catalog
     for entry in snapshot["tables"]:
-        heap = HeapFile(
-            db.pool,
-            entry["segment"],
-            catalog.insert_strategy,
-            metrics=db.metrics,
-        )
+        # Snapshots from before the columnar format carry no storage key.
+        if entry.get("storage", "heap") == "columnar":
+            heap: HeapFile = ColumnStore(
+                db.pool,
+                entry["segment"],
+                catalog.insert_strategy,
+                ncols=len(entry["columns"]),
+                metrics=db.metrics,
+            )
+        else:
+            heap = HeapFile(
+                db.pool,
+                entry["segment"],
+                catalog.insert_strategy,
+                metrics=db.metrics,
+            )
         heap.restore(entry["page_ids"], entry["free_map"], entry["row_count"])
         table = Table(entry["name"], list(entry["columns"]), heap)
         for ix in entry["indexes"]:

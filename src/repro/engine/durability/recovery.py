@@ -176,7 +176,10 @@ def _replay_ddl(db, record: dict) -> None:
             Column(name, parse_type(type_text), not_null)
             for name, type_text, not_null in record["columns"]
         ]
-        catalog.create_table(record["table"], columns)
+        # Older WALs predate the storage field; default is heap.
+        catalog.create_table(
+            record["table"], columns, storage=record.get("storage")
+        )
     elif op == "drop_table":
         catalog.drop_table(record["table"])
     elif op == "create_index":

@@ -71,31 +71,51 @@ class ExecStats:
 _NATIVE_ORDER = (int, float, str, datetime.date)
 
 
+# _AggState per-row dispatch codes, resolved once per group instead of
+# per-row string-tuple membership tests.
+_AGG_COUNT_STAR = 0
+_AGG_SUM = 1  # SUM and AVG share the running-total fold
+_AGG_MIN = 2
+_AGG_MAX = 3
+_AGG_COUNT = 4  # COUNT(col): the count increment is the whole fold
+
+
 class _AggState:
     """Accumulator for one aggregate within one group."""
 
-    __slots__ = ("spec", "count", "total", "best", "seen")
+    __slots__ = ("spec", "op", "count", "total", "best", "seen")
 
     def __init__(self, spec: phys.AggSpec) -> None:
         self.spec = spec
+        func = spec.func
+        if func == "COUNT_STAR":
+            self.op = _AGG_COUNT_STAR
+        elif func in ("SUM", "AVG"):
+            self.op = _AGG_SUM
+        elif func == "MIN":
+            self.op = _AGG_MIN
+        elif func == "MAX":
+            self.op = _AGG_MAX
+        else:
+            self.op = _AGG_COUNT
         self.count = 0
         self.total = None
         self.best = None
         self.seen: set | None = set() if spec.distinct else None
 
     def add(self, row: tuple, params: Sequence[object]) -> None:
-        spec = self.spec
-        if spec.func == "COUNT_STAR":
+        if self.op == _AGG_COUNT_STAR:
             self.count += 1
             return
+        spec = self.spec
         assert spec.arg is not None
         self.add_value(spec.arg(row, params))
 
     def add_value(self, value: object) -> None:
         """Fold one already-evaluated argument value (the vectorized
         engine precomputes argument columns per batch)."""
-        spec = self.spec
-        if spec.func == "COUNT_STAR":
+        op = self.op
+        if op == _AGG_COUNT_STAR:
             self.count += 1
             return
         if value is None:
@@ -105,9 +125,11 @@ class _AggState:
                 return
             self.seen.add(value)
         self.count += 1
-        if spec.func in ("SUM", "AVG"):
+        if op == _AGG_COUNT:
+            return
+        if op == _AGG_SUM:
             self.total = value if self.total is None else self.total + value
-        elif spec.func == "MIN":
+        elif op == _AGG_MIN:
             best = self.best
             if best is None:
                 self.best = value
@@ -118,7 +140,7 @@ class _AggState:
                     self.best = value
             elif sort_key(value) < sort_key(best):
                 self.best = value
-        elif spec.func == "MAX":
+        else:
             best = self.best
             if best is None:
                 self.best = value
@@ -162,6 +184,18 @@ def index_entries(
     prefix = tuple(e(outer_row, params) for e in node.key_exprs)
     stats.index_lookups += 1
     if node.range_low is None and node.range_high is None:
+        if (
+            info.unique
+            and len(prefix) == len(info.column_names)
+            and None not in prefix
+        ):
+            # Full-key probe on a unique index: exact-match descent
+            # instead of a prefix iteration — the hot case of every
+            # aligning reconstruction join (both engines share this, so
+            # access patterns and counters stay identical across them).
+            for rid in info.btree.search(prefix):
+                yield prefix, rid
+            return
         yield from info.btree.scan_prefix(prefix)
         return
     low = prefix

@@ -158,6 +158,18 @@ def _coerce_pair(a: object, b: object) -> tuple[object, object]:
     return a, b
 
 
+_MISSING_CONST = object()
+
+
+def _row_independent(compiled: Compiled) -> bool:
+    """Whether a compiled expression ignores its row operand (literal or
+    parameter read) — safe to evaluate once per batch with ``row=None``."""
+    return (
+        getattr(compiled, "const", _MISSING_CONST) is not _MISSING_CONST
+        or getattr(compiled, "param", None) is not None
+    )
+
+
 _COMPARE = {
     "=": lambda a, b: a == b,
     "<>": lambda a, b: a != b,
@@ -203,6 +215,10 @@ class ExprCompiler:
                         f"got {len(params)}"
                     )
                 return params[index]
+            # Metadata for the batch compiler: a parameter read is
+            # row-independent, so comparisons against it can evaluate
+            # once per batch against a stored column.
+            read_param.param = index
             return read_param
         if isinstance(expr, ast.ColumnRef):
             slot = self._schema.resolve(expr.table, expr.column)
@@ -325,6 +341,18 @@ class ExprCompiler:
                     from .values import sort_key
 
                     return fn(sort_key(a), sort_key(b))
+            # Metadata for the batch compiler: <column> <op> <row-
+            # independent value> (or mirrored) evaluates against a
+            # stored column without assembling row tuples.  ``cmp`` is
+            # (slot, fn, other_side, swapped): swapped means the column
+            # is the *right* operand of ``fn``.
+            slot = getattr(left, "slot", None)
+            if slot is not None and _row_independent(right):
+                compare.cmp = (slot, fn, right, False)
+            else:
+                slot = getattr(right, "slot", None)
+                if slot is not None and _row_independent(left):
+                    compare.cmp = (slot, fn, left, True)
             return compare
         if op in _ARITH:
             left, right = self.compile(expr.left), self.compile(expr.right)

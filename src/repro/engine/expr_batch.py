@@ -24,6 +24,8 @@ from __future__ import annotations
 from operator import itemgetter
 from typing import Callable, Sequence
 
+from .columnstore import ColumnBatch
+from .expr import _coerce_pair
 from .values import sort_key
 
 #: A compiled batch transform: (rows, params) -> rows.
@@ -56,14 +58,7 @@ def node_program(node, key: str, builder):
 # -- predicates ---------------------------------------------------------------
 
 
-def compile_filter(predicates: Sequence) -> BatchFn | None:
-    """``[r for r in rows if p0(r) is True and p1(r) is True ...]``.
-
-    Returns ``None`` for an empty conjunction (the caller passes the
-    batch through untouched instead of copying it).
-    """
-    if not predicates:
-        return None
+def _row_filter(predicates: Sequence) -> BatchFn:
     namespace: dict = {}
     conditions = []
     for i, predicate in enumerate(predicates):
@@ -73,6 +68,129 @@ def compile_filter(predicates: Sequence) -> BatchFn | None:
         f"lambda rows, params: [r for r in rows if {' and '.join(conditions)}]"
     )
     return _codegen(source, namespace)
+
+
+def _columnar_predicate(predicate):
+    """Selection program for one ``.cmp``-tagged comparison, or ``None``.
+
+    The program maps ``(batch, params, sel)`` to the narrowed selection
+    (row positions within the batch where the predicate is exactly
+    True).  Semantics replicate the tagged row closure: NULL operands
+    are never True, date/ISO-string pairs coerce via ``_coerce_pair``,
+    and incompatible types compare under ``sort_key`` total order.
+    Stored columns are type-homogeneous (``SqlType.check`` enforces
+    declared types), so one probe value decides per batch whether the
+    slow coercion path is needed at all.
+    """
+    cmp = getattr(predicate, "cmp", None)
+    if cmp is None:
+        return None
+    slot, fn, other, swapped = cmp
+
+    def careful(column, c, sel):
+        pairs = (
+            enumerate(column) if sel is None else ((i, column[i]) for i in sel)
+        )
+        out = []
+        for i, v in pairs:
+            if v is None:
+                continue
+            a, b = (c, v) if swapped else (v, c)
+            a, b = _coerce_pair(a, b)
+            try:
+                ok = fn(a, b)
+            except TypeError:
+                ok = fn(sort_key(a), sort_key(b))
+            if ok is True:
+                out.append(i)
+        return out
+
+    def run(batch: ColumnBatch, params, sel):
+        c = other(None, params)
+        if c is None:
+            return []  # comparison against NULL is never True
+        column = batch.col(slot)
+        probe = next(
+            (column[i] for i in (range(len(column)) if sel is None else sel)
+             if column[i] is not None),
+            None,
+        )
+        if probe is None:
+            return []
+        a0, b0 = (c, probe) if swapped else (probe, c)
+        ca, cb = _coerce_pair(a0, b0)
+        if ca is not a0 or cb is not b0:
+            # Date/string coercion applies to this column/value pair:
+            # take the per-value path for exact row-closure semantics.
+            return careful(column, c, sel)
+        try:
+            if swapped:
+                if sel is None:
+                    return [
+                        i
+                        for i, v in enumerate(column)
+                        if v is not None and fn(c, v) is True
+                    ]
+                return [
+                    i
+                    for i in sel
+                    if (v := column[i]) is not None and fn(c, v) is True
+                ]
+            if sel is None:
+                return [
+                    i
+                    for i, v in enumerate(column)
+                    if v is not None and fn(v, c) is True
+                ]
+            return [
+                i
+                for i in sel
+                if (v := column[i]) is not None and fn(v, c) is True
+            ]
+        except TypeError:
+            # Mixed incomparable types mid-column (never the case for
+            # stored data, but stay exact): redo with the total order.
+            return careful(column, c, sel)
+
+    return run
+
+
+def compile_filter(predicates: Sequence) -> BatchFn | None:
+    """``[r for r in rows if p0(r) is True and p1(r) is True ...]``.
+
+    Returns ``None`` for an empty conjunction (the caller passes the
+    batch through untouched instead of copying it).  On a
+    :class:`~repro.engine.columnstore.ColumnBatch`, predicates tagged by
+    the expression compiler as column-vs-constant comparisons evaluate
+    against stored columns first — narrowing a selection vector — and
+    only the surviving rows are ever assembled into tuples (late
+    materialization); untagged predicates then run row-at-a-time over
+    the survivors.
+    """
+    if not predicates:
+        return None
+    row_program = _row_filter(predicates)
+    columnar = [_columnar_predicate(p) for p in predicates]
+    tagged = [run for run in columnar if run is not None]
+    untagged = [p for p, run in zip(predicates, columnar) if run is None]
+    if not tagged:
+        return row_program
+    residual_program = _row_filter(untagged) if untagged else None
+
+    def program(rows, params):
+        if type(rows) is not ColumnBatch:
+            return row_program(rows, params)
+        sel = None
+        for run in tagged:
+            sel = run(rows, params, sel)
+            if not sel:
+                return []
+        narrowed = rows.take(sel)
+        if residual_program is not None:
+            return residual_program(narrowed.rows(), params)
+        return narrowed
+
+    return program
 
 
 # -- projections / key extraction ---------------------------------------------
@@ -88,9 +206,23 @@ def compile_tuples(exprs: Sequence) -> BatchFn:
     if all(s is not None for s in slots):
         if len(slots) == 1:
             getter = itemgetter(slots[0])
-            return lambda rows, params: [(v,) for v in map(getter, rows)]
+            slot0 = slots[0]
+
+            def single(rows, params):
+                if type(rows) is ColumnBatch:
+                    return [(v,) for v in rows.col(slot0)]
+                return [(v,) for v in map(getter, rows)]
+
+            return single
         getter = itemgetter(*slots)
-        return lambda rows, params: list(map(getter, rows))
+
+        def multi(rows, params):
+            if type(rows) is ColumnBatch:
+                # Keys straight off the stored columns — no row tuples.
+                return list(zip(*[rows.col(s) for s in slots]))
+            return list(map(getter, rows))
+
+        return multi
     namespace: dict = {}
     parts = []
     for i, expr in enumerate(exprs):
@@ -102,11 +234,22 @@ def compile_tuples(exprs: Sequence) -> BatchFn:
 
 
 def compile_values(expr) -> BatchFn:
-    """One output *value* per input row (aggregate arguments)."""
+    """One output *value* per input row (aggregate arguments).
+
+    A slot read over a :class:`ColumnBatch` returns the stored column
+    itself (callers treat value lists as read-only), so aggregates over
+    columnar scans never assemble row tuples at all.
+    """
     slot = getattr(expr, "slot", None)
     if slot is not None:
         getter = itemgetter(slot)
-        return lambda rows, params: list(map(getter, rows))
+
+        def values(rows, params):
+            if type(rows) is ColumnBatch:
+                return rows.col(slot)
+            return list(map(getter, rows))
+
+        return values
     const = getattr(expr, "const", _MISSING)
     if const is not _MISSING:
         return lambda rows, params: [const] * len(rows)

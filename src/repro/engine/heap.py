@@ -45,6 +45,12 @@ class RowId:
 class HeapFile:
     """A heap of rows for one table, stored in DATA pages of one segment."""
 
+    #: Storage discriminator surfaced through the catalog (``Table.storage``)
+    #: and persisted in checkpoint snapshots / DDL WAL records.  The
+    #: column-major sibling (:class:`~repro.engine.columnstore.ColumnStore`)
+    #: overrides this with ``"columnar"``.
+    storage_kind = "heap"
+
     def __init__(
         self,
         pool: BufferPool,
@@ -152,17 +158,26 @@ class HeapFile:
         path.  Page accounting is identical to :meth:`scan` (one logical
         read per page, one ``heap.scans`` tick per call); rows of one
         page are gathered with a single comprehension instead of a
-        per-row generator resumption."""
+        per-row generator resumption.  Yielded lists are freshly built
+        and never touched again by this generator, so consumers may keep
+        or mutate them; exact-size batches are handed over as-is instead
+        of being sliced out and shifted (the old ``del batch[:n]``
+        memmove on every full batch)."""
         self._count("scans", "heap.scans")
         batch: list[tuple] = []
         for pid in list(self._page_ids):
             page = self._pool.read(pid)
-            batch.extend(
-                entry[0] for entry in page.payload if entry is not None
-            )
-            while len(batch) >= batch_rows:
+            rows = [entry[0] for entry in page.payload if entry is not None]
+            if batch:
+                batch.extend(rows)
+            else:
+                batch = rows
+            while len(batch) > batch_rows:
                 yield batch[:batch_rows]
-                del batch[:batch_rows]
+                batch = batch[batch_rows:]
+            if len(batch) == batch_rows:
+                yield batch
+                batch = []
         if batch:
             yield batch
 

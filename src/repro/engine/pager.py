@@ -165,10 +165,11 @@ class BufferPool:
         # read path pays one attribute check, not a name lookup.
         self.metrics = metrics
         if metrics is not None:
-            self._c_logical = {
-                PageKind.DATA: metrics.counter("pool.data.logical_reads"),
-                PageKind.INDEX: metrics.counter("pool.index.logical_reads"),
-            }
+            # Split per-kind attributes (not an enum-keyed dict): the
+            # read path branches on ``kind is PageKind.DATA`` anyway,
+            # and hashing an enum per logical read is measurable.
+            self._c_logical_data = metrics.counter("pool.data.logical_reads")
+            self._c_logical_index = metrics.counter("pool.index.logical_reads")
             self._c_physical = {
                 PageKind.DATA: metrics.counter("pool.data.physical_reads"),
                 PageKind.INDEX: metrics.counter("pool.index.physical_reads"),
@@ -253,7 +254,17 @@ class BufferPool:
         page = self._disk.get(page_id)
         if page is None:
             raise EngineError(f"page {page_id} does not exist")
-        self._count_logical(page.kind)
+        # _count_logical, inlined: this is the all-in-memory hot path
+        # and the call frame itself is measurable at fig9 probe rates.
+        stats = self.stats
+        if page.kind is PageKind.DATA:
+            stats.logical_data += 1
+            if self._c_writes is not None:
+                self._c_logical_data.inc()
+        else:
+            stats.logical_index += 1
+            if self._c_writes is not None:
+                self._c_logical_index.inc()
         frame = self._frames.get(page_id)
         if frame is None:
             if page.kind is PageKind.DATA:
@@ -270,12 +281,15 @@ class BufferPool:
         return page
 
     def _count_logical(self, kind: PageKind) -> None:
+        stats = self.stats
         if kind is PageKind.DATA:
-            self.stats.logical_data += 1
+            stats.logical_data += 1
+            if self._c_writes is not None:
+                self._c_logical_data.inc()
         else:
-            self.stats.logical_index += 1
-        if self._c_writes is not None:
-            self._c_logical[kind].inc()
+            stats.logical_index += 1
+            if self._c_writes is not None:
+                self._c_logical_index.inc()
 
     def unpin(self, page_id: int) -> None:
         frame = self._frames.get(page_id)

@@ -449,7 +449,16 @@ class _Parser:
             if not self._accept_punct(","):
                 break
         self._expect_punct(")")
-        return ast.CreateTable(table, tuple(columns))
+        # Optional storage clause: CREATE TABLE t (...) USING columnar.
+        # USING is not a reserved word, so match it as an identifier.
+        storage: str | None = None
+        if (
+            self._current.kind is TokenKind.IDENT
+            and self._current.text.upper() == "USING"
+        ):
+            self._advance()
+            storage = self._expect_ident().lower()
+        return ast.CreateTable(table, tuple(columns), storage)
 
     def _parse_drop(self) -> ast.Statement:
         self._expect_keyword("DROP")

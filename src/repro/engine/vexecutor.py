@@ -71,10 +71,16 @@ def _finalize_agg(spec: phys.AggSpec, acc) -> object:
                 continue
             seen.add(v)
             values.append(v)
+        if func == "COUNT":
+            return len(values)
     else:
-        values = [v for v in acc if v is not None]
-    if func == "COUNT":
-        return len(values)
+        if func == "COUNT":
+            # COUNT(col) counts without materializing a NULL-stripped
+            # copy of the accumulator.
+            return len(acc) - acc.count(None)
+        # NULL-free accumulators (the common case) fold in place, no
+        # copy — SUM/AVG/MIN/MAX all share this.
+        values = acc if None not in acc else [v for v in acc if v is not None]
     if not values:
         return None
     if func in ("SUM", "AVG"):
@@ -368,10 +374,16 @@ class VectorizedExecutor:
                 if probe is not None:
                     inner_rows = probe(left_row)
                     if inner_rows:
-                        stats.rows_joined += len(inner_rows)
-                        out.extend(
-                            [left_row + right for right in inner_rows]
-                        )
+                        if len(inner_rows) == 1:
+                            # Aligning joins hit exactly one inner row
+                            # per probe; skip the comprehension.
+                            stats.rows_joined += 1
+                            out.append(left_row + inner_rows[0])
+                        else:
+                            stats.rows_joined += len(inner_rows)
+                            out.extend(
+                                [left_row + right for right in inner_rows]
+                            )
                 else:
                     for inner_batch in self._batches(
                         node.inner, left_row, params, cache
@@ -396,7 +408,94 @@ class VectorizedExecutor:
             residual = self._program(
                 child, "residual", lambda: compile_filter(child.residual)
             )
-            fetch = catalog.table(inner.table_name).heap.fetch
+            table = catalog.table(inner.table_name)
+            fetch = table.heap.fetch
+            info = table.indexes.get(child.index_name.lower())
+            key_exprs = child.key_exprs
+            if (
+                info is not None
+                and info.unique
+                and child.range_low is None
+                and child.range_high is None
+                and len(key_exprs) == len(info.column_names)
+            ):
+                # Full-key probe on a unique index — the aligning
+                # reconstruction join's hot case.  Fuse out the
+                # index_entries generator: same descent, same counters,
+                # no per-row generator frames, and ``search_one``
+                # instead of ``search`` so the hit path allocates
+                # nothing but the fetched row.  (NULL keys keep the
+                # generic prefix semantics via scan_prefix, exactly as
+                # index_entries would.)
+                search_one = info.btree.search_one
+                scan_prefix = info.btree.scan_prefix
+
+                # Probe keys in reconstruction joins are mostly
+                # constant (Tenant/Table/Chunk literals) with a single
+                # row-dependent column; pre-fill the constants once per
+                # closure instead of re-evaluating every expression per
+                # probe.  Compiled readers advertise their shape via
+                # the .const/.param/.slot metadata; anything fancier
+                # falls back to the generic evaluation.
+                _sent = object()
+                template: list = []
+                slot_positions: list[tuple[int, int]] = []
+                generic = False
+                for i, e in enumerate(key_exprs):
+                    const = getattr(e, "const", _sent)
+                    if const is not _sent:
+                        template.append(const)
+                        continue
+                    if getattr(e, "param", None) is not None:
+                        template.append(e(None, params))
+                        continue
+                    slot = getattr(e, "slot", None)
+                    if slot is not None:
+                        template.append(None)
+                        slot_positions.append((i, slot))
+                        continue
+                    generic = True
+                    break
+                if generic:
+                    def make_key(left_row: tuple) -> tuple:
+                        return tuple(
+                            [e(left_row, params) for e in key_exprs]
+                        )
+                elif len(slot_positions) == 1:
+                    (pos0, slot0) = slot_positions[0]
+
+                    def make_key(
+                        left_row: tuple, base=template, i=pos0, s=slot0
+                    ) -> tuple:
+                        base[i] = left_row[s]
+                        return tuple(base)
+                else:
+                    def make_key(
+                        left_row: tuple, base=template, ps=slot_positions
+                    ) -> tuple:
+                        for i, s in ps:
+                            base[i] = left_row[s]
+                        return tuple(base)
+
+                def probe_unique(left_row: tuple) -> list[tuple]:
+                    key = make_key(left_row)
+                    stats.index_lookups += 1
+                    if None in key:
+                        rows = [fetch(rid) for _k, rid in scan_prefix(key)]
+                        stats.rows_fetched += len(rows)
+                        if residual is not None and rows:
+                            rows = residual(rows, params)
+                        return rows
+                    rid = search_one(key)
+                    if rid is None:
+                        return []
+                    stats.rows_fetched += 1
+                    rows = [fetch(rid)]
+                    if residual is not None:
+                        rows = residual(rows, params)
+                    return rows
+
+                return probe_unique
 
             def probe(left_row: tuple) -> list[tuple]:
                 rows = [

@@ -281,8 +281,14 @@ class TestWalMetrics:
 # Crashpoint × layout property test
 # ---------------------------------------------------------------------------
 
+#: The seven layouts, plus one storage-override variant: chunk, pivot,
+#: universal and chunk_folding already recover *columnar* tables (their
+#: shared tables default to column pages), and ``private+columnar``
+#: forces column pages onto a layout whose default is the row-major
+#: heap — so both storage formats cross every crashpoint either way.
 ALL_LAYOUTS = (
     "private",
+    "private+columnar",
     "basic",
     "extension",
     "universal",
@@ -373,7 +379,10 @@ def _workload(layout: str):
 
 
 def _build_mtd(db: Database, layout: str) -> MultiTenantDatabase:
-    options = {"width": 3} if layout in ("chunk", "chunk_folding") else {}
+    layout, _, storage = layout.partition("+")
+    options: dict = {"width": 3} if layout in ("chunk", "chunk_folding") else {}
+    if storage:
+        options["storage"] = storage
     mtd = MultiTenantDatabase(layout=layout, db=db, **options)
     mtd.define_table(_account_table())
     if layout != "basic":
