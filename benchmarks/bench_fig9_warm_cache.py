@@ -72,7 +72,7 @@ class TestFigure9:
         assert times == sorted(times)
 
     def test_warm_cache_means_no_physical_reads(self, measurements):
-        for label, points in measurements.items():
+        for _label, points in measurements.items():
             for m in points.values():
                 assert m.physical_reads == 0
 

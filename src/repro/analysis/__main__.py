@@ -1,9 +1,20 @@
 """CLI: ``python -m repro.analysis [--strict] ...``.
 
-Runs the semantic, tenant-isolation, and layout-invariant passes over
-the Figure 5 CRM testbed at the Table 1 variability levels, printing a
-per-configuration summary and every finding.  ``--strict`` exits
-non-zero on any ERROR-severity finding — the CI analysis gate.
+By default, runs the semantic, tenant-isolation, and layout-invariant
+passes over the Figure 5 CRM testbed at the Table 1 variability levels,
+printing a per-configuration summary and every finding.
+
+``--sanitize`` / ``--lockorder`` / ``--lint`` select the concurrency &
+durability tooling instead: the dynamic sanitizer scenario (CON rules),
+the static lock-order pass (LCK rules), and the protocol lint (LNT
+rules).  Any combination runs only the selected passes; without those
+flags the legacy layout analysis runs.
+
+``--strict`` exits non-zero on any ERROR-severity finding — the CI
+gates.  ``--mutate`` applies one seeded defect first (the matching gate
+must then fail): the layout mutations feed the testbed passes,
+``skip-wal-append`` feeds ``--sanitize``, ``lock-order-inversion``
+feeds ``--lockorder``.
 """
 
 from __future__ import annotations
@@ -11,7 +22,9 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .findings import RULES
+from .findings import AnalysisReport, RULES
+from .lint import analyze_lint
+from .lockorder import MUTATE_LOCK_INVERSION, analyze_lock_order
 from .mutation import MUTATIONS
 from .runner import (
     ALL_LAYOUTS,
@@ -19,17 +32,34 @@ from .runner import (
     AnalysisConfig,
     run_analysis,
 )
+from .sanitizers import MUTATE_SKIP_APPEND, run_sanitized_scenario
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="Static analysis over the multi-tenant CRM testbed.",
+        description="Static analysis over the multi-tenant CRM testbed, "
+        "plus the concurrency/durability sanitizer and lint passes.",
     )
     parser.add_argument(
         "--strict",
         action="store_true",
         help="exit non-zero on any ERROR-severity finding",
+    )
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run the dynamic sanitizer scenario (CON rules)",
+    )
+    parser.add_argument(
+        "--lockorder",
+        action="store_true",
+        help="run the static lock-order pass (LCK rules)",
+    )
+    parser.add_argument(
+        "--lint",
+        action="store_true",
+        help="run the protocol lint pass (LNT rules)",
     )
     parser.add_argument(
         "--layouts",
@@ -56,7 +86,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--mutate",
-        choices=sorted(MUTATIONS),
+        choices=sorted(MUTATIONS) + [MUTATE_SKIP_APPEND, MUTATE_LOCK_INVERSION],
         default=None,
         help="apply a seeded defect first (the gate must then fail)",
     )
@@ -79,6 +109,49 @@ def main(argv: list[str] | None = None) -> int:
         for rule in RULES.values():
             print(f"{rule.rule_id}  {rule.severity!s:7s}  {rule.title}")
         return 0
+
+    tooling = args.sanitize or args.lockorder or args.lint
+    if tooling:
+        report = AnalysisReport()
+        if args.sanitize:
+            sanitize_mutate = (
+                args.mutate if args.mutate == MUTATE_SKIP_APPEND else None
+            )
+            sub, overhead = run_sanitized_scenario(mutate=sanitize_mutate)
+            print(
+                f"sanitize: {len(sub.findings)} finding(s) over "
+                f"{sub.checked} boundary check(s), "
+                f"{overhead:.2f}x instrumentation overhead"
+            )
+            report.extend(sub)
+        if args.lockorder:
+            lock_mutate = (
+                args.mutate if args.mutate == MUTATE_LOCK_INVERSION else None
+            )
+            sub = analyze_lock_order(mutate=lock_mutate)
+            print(
+                f"lockorder: {len(sub.findings)} finding(s) over "
+                f"{sub.checked} acquisition edge(s)"
+            )
+            report.extend(sub)
+        if args.lint:
+            sub = analyze_lint()
+            print(
+                f"lint: {len(sub.findings)} finding(s) over "
+                f"{sub.checked} site(s)"
+            )
+            report.extend(sub)
+        print()
+        print(report.render(limit=50))
+        if args.strict and not report.ok:
+            return 1
+        return 0
+
+    if args.mutate in (MUTATE_SKIP_APPEND, MUTATE_LOCK_INVERSION):
+        parser.error(
+            f"--mutate {args.mutate} applies to the --sanitize/--lockorder "
+            "passes, not the layout analysis"
+        )
 
     config = AnalysisConfig(
         layouts=tuple(args.layouts),

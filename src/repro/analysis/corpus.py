@@ -10,6 +10,7 @@ over base columns and, for subscribed tenants, extension columns.
 
 from __future__ import annotations
 
+from collections.abc import Collection
 from dataclasses import dataclass
 
 from ..testbed.crm import CRM_PARENTS, instance_table_name
@@ -68,7 +69,7 @@ def select_corpus(instance: int = 0, tables: int = 3) -> list[CorpusStatement]:
 
 
 def extension_corpus(
-    extensions, instance: int = 0
+    extensions: Collection[str], instance: int = 0
 ) -> list[CorpusStatement]:
     """Statements touching the columns of the tenant's granted
     extensions (other tenants cannot even name these columns)."""

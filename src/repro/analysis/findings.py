@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import Any
 
 
 class Severity(enum.IntEnum):
@@ -61,6 +62,22 @@ RULES: dict[str, Rule] = {
         Rule("LAY004", Severity.ERROR, "orphaned meta rows in shared table"),
         Rule("LAY005", Severity.ERROR, "migration does not preserve column set"),
         Rule("LAY006", Severity.ERROR, "row-alignment gap between fragments"),
+        # -- dynamic concurrency/durability sanitizers (CON) ---------------
+        Rule("CON001", Severity.ERROR, "lockset race: disjoint locksets on shared resource"),
+        Rule("CON002", Severity.ERROR, "data-page mutation without covering WAL append"),
+        Rule("CON003", Severity.ERROR, "dirty page written back beyond flushed WAL tail"),
+        Rule("CON004", Severity.ERROR, "buffer-pool pin leaked past statement end"),
+        Rule("CON005", Severity.ERROR, "session ended while still holding locks"),
+        Rule("CON006", Severity.ERROR, "transaction left open at close"),
+        # -- static lock-order pass (LCK) ----------------------------------
+        Rule("LCK001", Severity.ERROR, "cycle in resource acquisition graph"),
+        Rule("LCK002", Severity.ERROR, "acquisition order inverts the resource hierarchy"),
+        Rule("LCK003", Severity.WARNING, "resource class missing from declared hierarchy"),
+        # -- protocol lint rules (LNT) -------------------------------------
+        Rule("LNT001", Severity.ERROR, "page mutation outside WAL-logged storage helpers"),
+        Rule("LNT002", Severity.ERROR, "handler would swallow SimulatedCrash"),
+        Rule("LNT003", Severity.ERROR, "crashpoint never exercised by the fault census"),
+        Rule("LNT004", Severity.ERROR, "metrics-registry lookup inside a hot loop"),
     )
 }
 
@@ -118,7 +135,7 @@ class AnalysisReport:
             counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
         return counts
 
-    def count_into(self, metrics) -> None:
+    def count_into(self, metrics: Any) -> None:
         """Feed the ``analysis.*`` counters of a metrics registry."""
         metrics.counter("analysis.checked").inc(self.checked)
         metrics.counter("analysis.findings").inc(len(self.findings))

@@ -22,6 +22,8 @@ correctness conditions checkable:
 
 from __future__ import annotations
 
+from typing import Any
+
 from ..engine.values import TypeKind
 from .findings import AnalysisReport, Finding
 
@@ -37,7 +39,9 @@ _CAST_PRODUCES = {
 _INT_FAMILY = {TypeKind.INTEGER, TypeKind.BIGINT}
 
 
-def _storage_error(logical_type, physical_type, cast: str | None) -> str | None:
+def _storage_error(
+    logical_type: Any, physical_type: Any, cast: str | None
+) -> str | None:
     """Why this (physical slot, cast) cannot reproduce the logical type."""
     lk = logical_type.kind
     if cast is not None:
@@ -65,7 +69,7 @@ def _storage_error(logical_type, physical_type, cast: str | None) -> str | None:
     return f"{lk.value} stored in {pk.value} slot without a cast"
 
 
-def check_fragments(mtd, locus_prefix: str = "") -> AnalysisReport:
+def check_fragments(mtd: Any, locus_prefix: str = "") -> AnalysisReport:
     """Coverage (LAY001/LAY002) and type consistency (LAY003)."""
     report = AnalysisReport()
     catalog = mtd.db.catalog
@@ -143,7 +147,7 @@ def _meta_where(meta: tuple[tuple[str, object], ...]) -> str:
     return " AND ".join(f"{col} = {value!r}" for col, value in meta) or "1 = 1"
 
 
-def check_meta_rows(mtd, locus_prefix: str = "") -> AnalysisReport:
+def check_meta_rows(mtd: Any, locus_prefix: str = "") -> AnalysisReport:
     """Meta-row agreement (LAY004): physically present meta combinations
     must correspond to a fragment of a live tenant with that grant."""
     report = AnalysisReport()
@@ -182,7 +186,7 @@ def check_meta_rows(mtd, locus_prefix: str = "") -> AnalysisReport:
     return report
 
 
-def check_row_alignment(mtd, locus_prefix: str = "") -> AnalysisReport:
+def check_row_alignment(mtd: Any, locus_prefix: str = "") -> AnalysisReport:
     """Row alignment (LAY006): all fragments of one (tenant, table) pair
     must agree on the Row-id set, or inner joins drop rows."""
     report = AnalysisReport()
@@ -233,7 +237,10 @@ def check_row_alignment(mtd, locus_prefix: str = "") -> AnalysisReport:
 
 
 def check_migration_plan(
-    logical_columns, source_fragments, target_fragments, locus: str = ""
+    logical_columns: Any,
+    source_fragments: Any,
+    target_fragments: Any,
+    locus: str = "",
 ) -> AnalysisReport:
     """Migration preservation (LAY005): both sides store the full
     logical column set, so no column is dropped or invented in flight."""
@@ -265,7 +272,7 @@ def check_migration_plan(
     return report
 
 
-def check_all(mtd, locus_prefix: str = "") -> AnalysisReport:
+def check_all(mtd: Any, locus_prefix: str = "") -> AnalysisReport:
     """All data-at-rest invariants for one multi-tenant database."""
     report = check_fragments(mtd, locus_prefix)
     report.extend(check_meta_rows(mtd, locus_prefix))

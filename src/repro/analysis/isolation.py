@@ -24,6 +24,7 @@ The discipline differs by statement provenance:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 from ..engine.plan.logical import split_conjuncts
 from ..engine.sql import ast
@@ -33,7 +34,7 @@ from .findings import AnalysisReport, Finding
 TENANT_COLUMN = "tenant"
 
 
-def shared_table_map(mtd) -> dict[str, frozenset[str]]:
+def shared_table_map(mtd: Any) -> dict[str, frozenset[str]]:
     """Physical table -> required meta discriminator columns.
 
     Derived from the fragment lists of every (tenant, table) pair:
@@ -77,12 +78,12 @@ class IsolationVerifier:
     def check_statement(
         self,
         stmt: ast.Statement,
-        context: GuardContext = GuardContext(),
+        context: GuardContext | None = None,
         locus: str = "",
     ) -> AnalysisReport:
         report = AnalysisReport(checked=1)
         self._report = report
-        self._context = context
+        self._context = context or GuardContext()
         self._locus = locus or stmt.sql()
         if isinstance(stmt, ast.Select):
             self._check_select(stmt)

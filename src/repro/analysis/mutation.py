@@ -8,10 +8,12 @@ these to prove the passes actually catch the bug classes they claim to.
 
 from __future__ import annotations
 
+from typing import Any
+
 from ..core.layouts.base import ColumnLoc, Fragment, TENANT_META
 
 
-def drop_tenant_guard(layout) -> None:
+def drop_tenant_guard(layout: Any) -> None:
     """Strip the Tenant meta pair from every fragment the layout emits.
 
     Downstream, ``build_reconstruction`` and the DML transformer then
@@ -34,7 +36,7 @@ def drop_tenant_guard(layout) -> None:
     layout.fragments = mutated
 
 
-def drop_read_casts(layout) -> None:
+def drop_read_casts(layout: Any) -> None:
     """Strip read-side casts from fragment columns (breaks the
     Universal/generic type funnel; LAY003 territory)."""
     original = layout.fragments
@@ -63,7 +65,7 @@ MUTATIONS = {
 }
 
 
-def apply_mutation(mtd, name: str) -> None:
+def apply_mutation(mtd: Any, name: str) -> None:
     mutate = MUTATIONS[name]
     for layout in mtd._all_layouts():
         mutate(layout)

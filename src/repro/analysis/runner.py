@@ -25,7 +25,9 @@ from __future__ import annotations
 import contextlib
 import shutil
 import tempfile
+from collections.abc import Callable, Iterator
 from dataclasses import dataclass
+from typing import Any
 
 from ..core.api import MultiTenantDatabase
 from ..engine.database import Database
@@ -82,16 +84,16 @@ class AnalysisConfig:
 
 
 @contextlib.contextmanager
-def record_statements(db):
+def record_statements(db: Any) -> Iterator[list[ast.Statement]]:
     """Capture every statement reaching the engine while active."""
     recorded: list[ast.Statement] = []
     original_ast, original_text = db.execute_ast, db.execute
 
-    def rec_ast(stmt, params=()):
+    def rec_ast(stmt: ast.Statement, params: Any = ()) -> Any:
         recorded.append(stmt)
         return original_ast(stmt, params)
 
-    def rec_text(sql, params=()):
+    def rec_text(sql: str, params: Any = ()) -> Any:
         with contextlib.suppress(Exception):
             recorded.append(parse_statement(sql))
         return original_text(sql, params)
@@ -170,7 +172,7 @@ def _populate(
             mtd.insert(tenant_id, table, row)
 
 
-def shared_table_map_from_catalog(catalog) -> dict[str, frozenset[str]]:
+def shared_table_map_from_catalog(catalog: Any) -> dict[str, frozenset[str]]:
     """Ground-truth shared-table map from the physical schema itself:
     any table carrying meta discriminator columns is shared and every
     one of them must be guarded.  Independent of the (possibly
@@ -352,7 +354,8 @@ def _check_admin_ops(
 
 
 def run_analysis(
-    config: AnalysisConfig | None = None, log=None
+    config: AnalysisConfig | None = None,
+    log: Callable[[str], None] | None = None,
 ) -> AnalysisReport:
     """All passes over every layout × variability combination."""
     config = config or AnalysisConfig()
@@ -384,7 +387,7 @@ def run_analysis(
 
 def _build_recovered(
     layout: str, config: AnalysisConfig, variability: float
-):
+) -> tuple[MultiTenantDatabase, Callable[[], None]]:
     """Build a durable testbed, abandon it without closing (the crash),
     and hand back the recovered instance plus a cleanup callback."""
     path = tempfile.mkdtemp(prefix=f"repro-analysis-{layout}-")

@@ -17,7 +17,8 @@ against one tenant's logical view of a
 
 from __future__ import annotations
 
-from typing import Protocol
+from collections.abc import Callable
+from typing import Any, Protocol
 
 from ..engine.errors import TypeMismatchError
 from ..engine.plan.logical import output_name
@@ -75,7 +76,7 @@ class SchemaProvider(Protocol):
 class CatalogProvider:
     """Resolve against the engine's physical catalog."""
 
-    def __init__(self, catalog) -> None:
+    def __init__(self, catalog: Any) -> None:
         self.catalog = catalog
 
     def has_table(self, name: str) -> bool:
@@ -89,7 +90,7 @@ class CatalogProvider:
 class LogicalSchemaProvider:
     """Resolve against one tenant's logical view of the shared schema."""
 
-    def __init__(self, schema, tenant_id: int) -> None:
+    def __init__(self, schema: Any, tenant_id: int) -> None:
         self.schema = schema
         self.tenant_id = tenant_id
 
@@ -296,7 +297,7 @@ class SemanticAnalyzer:
                 seen.add(lname)
                 sql_type, nn = by_name[lname]
                 targets.append((lname, sql_type, nn))
-            for lname, sql_type, nn in table_columns:
+            for lname, _sql_type, nn in table_columns:
                 if nn and lname not in seen:
                     self._flag(
                         "SEM008",
@@ -466,7 +467,11 @@ class SemanticAnalyzer:
             return values.BOOLEAN
         return None
 
-    def _infer_binary(self, expr: ast.BinaryOp, recur) -> SqlType | None:
+    def _infer_binary(
+        self,
+        expr: ast.BinaryOp,
+        recur: Callable[[Any], SqlType | None],
+    ) -> SqlType | None:
         from ..engine import values
 
         op = expr.op.upper()
@@ -508,7 +513,12 @@ class SemanticAnalyzer:
         return None
 
     def _infer_func(
-        self, expr: ast.FuncCall, recur, *, aggregates_ok: bool, in_aggregate: bool
+        self,
+        expr: ast.FuncCall,
+        recur: Callable[[Any], SqlType | None],
+        *,
+        aggregates_ok: bool,
+        in_aggregate: bool,
     ) -> SqlType | None:
         from ..engine import values
 

@@ -194,6 +194,11 @@ class ColumnStore(HeapFile):
         self._pool.mark_dirty(page.page_id)
         self.row_count += 1
         self._count("inserts", "heap.inserts")
+        san = self._pool.sanitizer
+        if san is not None:
+            san.on_row_access(
+                (self.segment_id, page.page_id, slot_no), write=True
+            )
         return RowId(page.page_id, slot_no)
 
     def _write_slot(
@@ -232,6 +237,11 @@ class ColumnStore(HeapFile):
         slot = rid.slot
         if slot >= len(payload.widths) or payload.widths[slot] is None:
             raise ExecutionError(f"dangling RID {rid}")
+        san = self._pool.sanitizer
+        if san is not None:
+            san.on_row_access(
+                (self.segment_id, rid.page_id, slot), write=False
+            )
         row = payload.row_cache.get(slot)
         if row is None:
             row = tuple([column[slot] for column in payload.columns])
@@ -315,6 +325,11 @@ class ColumnStore(HeapFile):
             page.used += delta
             self._free_map[page.page_id] = page.free
             self._pool.mark_dirty(page.page_id)
+            san = self._pool.sanitizer
+            if san is not None:
+                san.on_row_access(
+                    (self.segment_id, rid.page_id, rid.slot), write=True
+                )
             return rid
         self.delete(rid)
         return self.insert(row, width)
@@ -335,3 +350,8 @@ class ColumnStore(HeapFile):
         self._free_map[page.page_id] = page.free
         self._pool.mark_dirty(page.page_id)
         self.row_count -= 1
+        san = self._pool.sanitizer
+        if san is not None:
+            san.on_row_access(
+                (self.segment_id, rid.page_id, rid.slot), write=True
+            )

@@ -99,6 +99,7 @@ class Database:
         durability: DurabilityOptions | None = None,
         execution: str = "vectorized",
         batch_rows: int = BATCH_ROWS,
+        sanitize: bool | None = None,
     ) -> None:
         self.memory_bytes = memory_bytes
         self.page_size = page_size
@@ -162,6 +163,19 @@ class Database:
         #: Statement nesting depth; auto-checkpoints only fire between
         #: top-level statements.
         self._execute_depth = 0
+        #: Dynamic sanitizer (``sanitize=True``, or the REPRO_SANITIZE
+        #: environment variable when the argument is left at ``None``).
+        #: Attached before recovery so replayed work runs instrumented
+        #: too; the sanitizer suppresses write-ahead checks during
+        #: replay itself.
+        from ..analysis.sanitizers import Sanitizer, env_sanitize_enabled
+
+        if sanitize is None:
+            sanitize = env_sanitize_enabled()
+        self.sanitizer: Sanitizer | None = None
+        if sanitize:
+            self.sanitizer = Sanitizer(metrics=self.metrics)
+            self.sanitizer.attach(self)
         if self.durability is not None:
             from .durability.recovery import recover
 
@@ -297,7 +311,10 @@ class Database:
                 self.transactions.commit()
 
     def close(self) -> None:
-        """Flush the WAL and close the on-disk files (durable mode)."""
+        """Flush the WAL and close the on-disk files (durable mode);
+        end-of-life leak checks when a sanitizer is attached."""
+        if self.sanitizer is not None:
+            self.sanitizer.on_close(self)
         if self.durability is not None:
             self.transactions.end_statement()
             self.durability.wal.flush()

@@ -95,6 +95,14 @@ class DurabilityManager:
         self.admin_ops: list[dict] = []
         #: Filled by :func:`~repro.engine.durability.recovery.recover`.
         self.recovery_info: dict = {}
+        #: Optional dynamic sanitizer (write-ahead protocol checking).
+        self.sanitizer = None
+
+    #: Seeded defect: logical row records (ins/del/upd) are silently
+    #: dropped instead of appended — the write-ahead discipline breaks
+    #: while execution stays plausible.  The ``--sanitize`` gate must
+    #: catch this as CON002.
+    MUTATE_SKIP_APPEND = "skip-wal-append"
 
     # -- logging ----------------------------------------------------------
 
@@ -104,8 +112,16 @@ class DurabilityManager:
         discard it if the operation never completed."""
         if self.replaying:
             return None
+        is_row_record = record.get("t") in ("ins", "del", "upd")
+        if (
+            is_row_record
+            and self.options.mutate == self.MUTATE_SKIP_APPEND
+        ):
+            return None
         if self._active_admin is not None:
             record["admin"] = self._active_admin
+        if is_row_record and self.sanitizer is not None:
+            self.sanitizer.on_wal_row_record()
         return self.wal.append(record)
 
     def log_commit(self, txid: int) -> None:

@@ -107,6 +107,11 @@ class HeapFile:
         self._pool.mark_dirty(page.page_id)
         self.row_count += 1
         self._count("inserts", "heap.inserts")
+        san = self._pool.sanitizer
+        if san is not None:
+            san.on_row_access(
+                (self.segment_id, page.page_id, slot_no), write=True
+            )
         return RowId(page.page_id, slot_no)
 
     def _choose_page(self, need: int) -> Page | None:
@@ -141,6 +146,11 @@ class HeapFile:
         slots: list = page.payload
         if rid.slot >= len(slots) or slots[rid.slot] is None:
             raise ExecutionError(f"dangling RID {rid}")
+        san = self._pool.sanitizer
+        if san is not None:
+            san.on_row_access(
+                (self.segment_id, rid.page_id, rid.slot), write=False
+            )
         return slots[rid.slot][0]
 
     def scan(self) -> Iterator[tuple[RowId, tuple]]:
@@ -198,6 +208,11 @@ class HeapFile:
             page.used += delta
             self._free_map[page.page_id] = page.free
             self._pool.mark_dirty(page.page_id)
+            san = self._pool.sanitizer
+            if san is not None:
+                san.on_row_access(
+                    (self.segment_id, rid.page_id, rid.slot), write=True
+                )
             return rid
         # Doesn't fit: delete here, insert elsewhere (forwarding not
         # modelled; callers maintain indexes and receive the new RID).
@@ -216,6 +231,11 @@ class HeapFile:
         self._free_map[page.page_id] = page.free
         self._pool.mark_dirty(page.page_id)
         self.row_count -= 1
+        san = self._pool.sanitizer
+        if san is not None:
+            san.on_row_access(
+                (self.segment_id, rid.page_id, rid.slot), write=True
+            )
 
     # -- sizing -----------------------------------------------------------------
 

@@ -11,23 +11,36 @@ a wait penalty per conflict.
 Resources are arbitrary hashable keys — the testbed uses
 ``("page", page_id)`` for insert targets and ``("table", name)`` for
 scan locks.
+
+With a sanitizer attached (``Database(sanitize=True)``), every
+acquisition and release is additionally reported to the lockset race
+detector, which treats "the last session to acquire" as the session the
+engine is currently executing for (execution is cooperative).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..analysis.sanitizers import Sanitizer
 
 
 @dataclass
 class LockStats:
     """Monotonic lock counters.  ``waits`` counts conflict events that
     were charged a wait; ``wait_ms`` accumulates the simulated wait
-    durations (Experiment 1's contention penalties)."""
+    durations (Experiment 1's contention penalties).  ``upgrades``
+    counts shared→exclusive conversions by a session already holding
+    the resource — those are mode changes, not fresh holds, and
+    deadlock-prone in real lock managers, so they are ledgered apart."""
 
     acquisitions: int = 0
     conflicts: int = 0
     waits: int = 0
     wait_ms: float = 0.0
+    upgrades: int = 0
 
     def snapshot(self) -> "LockStats":
         return LockStats(**vars(self))
@@ -45,9 +58,17 @@ class LockTable:
         self._holders: dict[object, dict[int, bool]] = {}
         self.stats = LockStats()
         self._metrics = metrics
+        #: Optional dynamic sanitizer (lockset race detection).
+        self.sanitizer: "Sanitizer" | None = None
 
     def acquire(self, session_id: int, resource: object, *, exclusive: bool) -> int:
-        """Record an acquisition; returns the number of conflicting holders."""
+        """Record an acquisition; returns the number of conflicting holders.
+
+        Re-entrant acquires are idempotent holds: a session already
+        holding the resource keeps one entry, with the mode sticky at
+        the strongest requested so far (a shared→exclusive *upgrade* is
+        counted separately under ``stats.upgrades``; a downgrade
+        request leaves the exclusive hold in place)."""
         holders = self._holders.setdefault(resource, {})
         conflicts = 0
         for other, other_exclusive in holders.items():
@@ -55,13 +76,20 @@ class LockTable:
                 continue
             if exclusive or other_exclusive:
                 conflicts += 1
-        holders[session_id] = exclusive or holders.get(session_id, False)
+        previous = holders.get(session_id)
+        holders[session_id] = exclusive or bool(previous)
         self.stats.acquisitions += 1
+        if previous is False and exclusive:
+            self.stats.upgrades += 1
+            if self._metrics is not None:
+                self._metrics.counter("locks.upgrades").inc()
         self.stats.conflicts += conflicts
         if self._metrics is not None:
             self._metrics.counter("locks.acquisitions").inc()
             if conflicts:
                 self._metrics.counter("locks.conflicts").inc(conflicts)
+        if self.sanitizer is not None:
+            self.sanitizer.on_lock_acquire(session_id, resource, exclusive)
         return conflicts
 
     def record_wait(self, waits: int, wait_ms: float) -> None:
@@ -81,13 +109,40 @@ class LockTable:
                 wait_ms / waits
             )
 
+    def release(self, session_id: int, resource: object) -> bool:
+        """Release one resource held by one session; returns whether the
+        session actually held it.  Emptied resource entries are removed
+        so ``_holders`` never retains dead keys."""
+        holders = self._holders.get(resource)
+        if holders is None:
+            return False
+        held = holders.pop(session_id, None)
+        if not holders:
+            del self._holders[resource]
+        return held is not None
+
     def release_session(self, session_id: int) -> None:
-        """Release everything a session holds (end of its action)."""
+        """Release everything a session holds (end of its action).
+        Emptied resource entries are dropped — a long-lived lock table
+        must not accumulate dead resource keys."""
         for resource in list(self._holders):
             holders = self._holders[resource]
             holders.pop(session_id, None)
             if not holders:
                 del self._holders[resource]
+        if self.sanitizer is not None:
+            self.sanitizer.on_lock_release(session_id)
 
     def held_by(self, session_id: int) -> int:
+        """Number of distinct resources the session holds.  Re-entrant
+        acquires of one resource count once (one hold per resource)."""
         return sum(1 for h in self._holders.values() if session_id in h)
+
+    def resources_held(self, session_id: int) -> list[object]:
+        """The resources a session currently holds (lockset order is
+        insertion order of first acquisition)."""
+        return [
+            resource
+            for resource, holders in self._holders.items()
+            if session_id in holders
+        ]

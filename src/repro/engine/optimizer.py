@@ -673,9 +673,9 @@ class Planner:
         def annotate(
             node: phys.PNode,
             enforced: set[str],
-            extra_key: set[str] = frozenset(),
+            extra_key: set[str] | None = None,
         ) -> phys.PNode:
-            key_cols = set(enforced) | set(extra_key)
+            key_cols = set(enforced) | set(extra_key or ())
             learned = (
                 self.feedback.estimate(table.name, sorted(key_cols))
                 if self.feedback is not None and key_cols

@@ -161,6 +161,8 @@ class BufferPool:
         self._disk: dict[int, Page] = {}
         self._frames: OrderedDict[int, _Frame] = OrderedDict()
         self._next_page_id = 1
+        # Optional dynamic sanitizer (WAL-rule + pin-leak checking).
+        self.sanitizer = None
         # Optional MetricsRegistry; counters are pre-bound so the hot
         # read path pays one attribute check, not a name lookup.
         self.metrics = metrics
@@ -305,6 +307,8 @@ class BufferPool:
                 # Stamp with the current log position: the WAL rule will
                 # flush through this LSN before the page hits disk.
                 frame.page.lsn = self._durability.current_lsn
+            if self.sanitizer is not None:
+                self.sanitizer.on_page_dirty(frame.page)
         elif self._store is not None:
             # In disk mode a mutation to a non-resident page would be
             # silently lost — fail fast (callers pin across the window
@@ -424,6 +428,8 @@ class BufferPool:
         """Persist one dirty page, honoring the WAL rule first."""
         if self._durability is not None:
             self._durability.before_page_write(page)
+        if self.sanitizer is not None:
+            self.sanitizer.on_page_writeback(page)
         self._store.write(page, page.lsn)
 
     def _evict_to_capacity(self, *, resize: bool = False) -> None:

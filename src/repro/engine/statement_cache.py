@@ -60,8 +60,11 @@ class LruCache:
 
     def __init__(self, capacity: int, metrics=None, prefix: str = "") -> None:
         self.capacity = capacity
-        self._metrics = metrics
-        self._prefix = prefix
+        self._c_evictions = (
+            metrics.counter(f"{prefix}.evictions")
+            if metrics is not None
+            else None
+        )
         self._entries: dict = {}
 
     @property
@@ -92,8 +95,8 @@ class LruCache:
         while len(self._entries) > self.capacity:
             oldest = next(iter(self._entries))
             del self._entries[oldest]
-            if self._metrics is not None:
-                self._metrics.counter(f"{self._prefix}.evictions").inc()
+            if self._c_evictions is not None:
+                self._c_evictions.inc()
 
     def clear(self) -> int:
         """Drop every entry; returns how many were dropped."""

@@ -67,6 +67,11 @@ class TransactionManager:
         #: WAL transaction id of the current (explicit or implicit)
         #: transaction; None until it logs its first write.
         self._txid: int | None = None
+        #: Optional dynamic sanitizer, notified at every transaction
+        #: terminal / statement boundary (the write-ahead rule is
+        #: checked per boundary, not per mutation, because the engine
+        #: mutates the heap before recording the redo entry).
+        self.sanitizer = None
 
     @property
     def active(self) -> bool:
@@ -89,6 +94,8 @@ class TransactionManager:
         self.committed += 1
         if self._metrics is not None:
             self._metrics.counter("txn.committed").inc()
+        if self.sanitizer is not None:
+            self.sanitizer.on_statement_end()
 
     def commit_if_active(self) -> None:
         if self.active:
@@ -145,6 +152,8 @@ class TransactionManager:
                 )
         self._emit_rollback()
         self.rolled_back += 1
+        if self.sanitizer is not None:
+            self.sanitizer.on_statement_end()
 
     def end_statement(self) -> None:
         """Statement boundary: commit the implicit autocommit
@@ -152,6 +161,8 @@ class TransactionManager:
         if self.active:
             return  # inside an explicit transaction: nothing ends yet
         self._emit_commit()
+        if self.sanitizer is not None:
+            self.sanitizer.on_statement_end()
 
     # -- recording ---------------------------------------------------------
     #
