@@ -1,0 +1,37 @@
+"""Tenant-sharded cluster layer over the multi-tenant engine.
+
+The SIGMOD 2008 paper's schema-mapping techniques consolidate many
+tenants into one database; this package scales that out: many such
+databases (shards), a consistent-hash placement catalog, an asyncio
+front door speaking a length-prefixed JSON protocol, and online tenant
+rebalancing built on the engine's export/insert and WAL machinery.
+"""
+
+from .cluster import Cluster
+from .errors import (
+    ClusterError,
+    ProtocolError,
+    RebalanceInProgressError,
+    ShardClosedError,
+    WrongShardError,
+)
+from .placement import PlacementCatalog
+from .rebalance import Rebalancer
+from .router import ClusterClient, ClusterServer, Router
+from .shard import ShardOptions, ShardWorker
+
+__all__ = [
+    "Cluster",
+    "ClusterClient",
+    "ClusterError",
+    "ClusterServer",
+    "PlacementCatalog",
+    "ProtocolError",
+    "Rebalancer",
+    "RebalanceInProgressError",
+    "Router",
+    "ShardClosedError",
+    "ShardOptions",
+    "ShardWorker",
+    "WrongShardError",
+]

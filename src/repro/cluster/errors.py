@@ -1,0 +1,42 @@
+"""Cluster-layer errors.
+
+All derive from the engine's :class:`EngineError` so existing callers
+that catch engine failures keep working unchanged.
+"""
+
+from __future__ import annotations
+
+from ..engine.errors import EngineError
+
+
+class ClusterError(EngineError):
+    """Base class for cluster-layer failures."""
+
+
+class WrongShardError(ClusterError):
+    """A request reached a shard that does not own the tenant.
+
+    Carries the shard's name and its view of the placement version so a
+    router (or smart client) can refresh its placement map and retry.
+    """
+
+    def __init__(self, tenant_id: int, shard: str, placement_version: int) -> None:
+        super().__init__(
+            f"tenant {tenant_id} is not placed on shard {shard!r} "
+            f"(placement version {placement_version})"
+        )
+        self.tenant_id = tenant_id
+        self.shard = shard
+        self.placement_version = placement_version
+
+
+class ShardClosedError(ClusterError):
+    """The shard worker has been shut down."""
+
+
+class RebalanceInProgressError(ClusterError):
+    """Only one tenant move may be in flight at a time."""
+
+
+class ProtocolError(ClusterError):
+    """A malformed or oversized wire frame."""

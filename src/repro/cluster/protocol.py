@@ -1,0 +1,123 @@
+"""The cluster wire protocol: length-prefixed JSON frames.
+
+One frame is a 4-byte big-endian length followed by a UTF-8 JSON
+object.  JSON keeps the protocol debuggable (``nc`` + eyeballs) and the
+engine's value domain is JSON-friendly except for two cases handled by
+tagging:
+
+* ``DATE`` values travel as ``{"$date": "YYYY-MM-DD"}``;
+* result rows are tuples in the engine and travel as JSON arrays —
+  :func:`decode_rows` turns them back into tuples so cluster results
+  compare equal to local engine results.
+
+Requests and responses are plain dicts.  Every request carries ``op``
+plus op-specific fields; every response carries ``ok`` (bool) and
+either result fields or ``error`` / ``message`` (plus ``shard`` and
+``placement_version`` for ``WrongShard``, so smart clients can refresh
+their placement map and retry).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import datetime
+import json
+import struct
+from typing import Any
+
+from .errors import ProtocolError
+
+#: Frames above this size are refused — a corrupt length prefix must
+#: not make a reader try to allocate gigabytes.
+MAX_FRAME = 16 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+# -- value tagging -----------------------------------------------------------
+
+
+def encode_value(value: Any) -> Any:
+    """A JSON-safe encoding of one engine value."""
+    if isinstance(value, datetime.date) and not isinstance(
+        value, datetime.datetime
+    ):
+        return {"$date": value.isoformat()}
+    if isinstance(value, (list, tuple)):
+        return [encode_value(v) for v in value]
+    if isinstance(value, dict):
+        return {k: encode_value(v) for k, v in value.items()}
+    return value
+
+
+def decode_value(value: Any) -> Any:
+    """Invert :func:`encode_value` (lists stay lists; use
+    :func:`decode_rows` where tuples are expected)."""
+    if isinstance(value, dict):
+        if set(value) == {"$date"}:
+            return datetime.date.fromisoformat(value["$date"])
+        return {k: decode_value(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [decode_value(v) for v in value]
+    return value
+
+
+def decode_rows(rows: list) -> list[tuple]:
+    """Result rows come back as JSON arrays; the engine's are tuples."""
+    return [tuple(decode_value(cell) for cell in row) for row in rows]
+
+
+# -- framing -----------------------------------------------------------------
+
+
+def encode_frame(message: dict) -> bytes:
+    body = json.dumps(
+        encode_value(message), separators=(",", ":"), ensure_ascii=False
+    ).encode("utf-8")
+    if len(body) > MAX_FRAME:
+        raise ProtocolError(f"frame of {len(body)} bytes exceeds {MAX_FRAME}")
+    return _LENGTH.pack(len(body)) + body
+
+
+def decode_frame(body: bytes) -> dict:
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError("frame payload must be a JSON object")
+    return decode_value(message)
+
+
+async def read_frame(reader: asyncio.StreamReader) -> dict | None:
+    """Read one frame; ``None`` on clean EOF at a frame boundary."""
+    try:
+        header = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection died mid frame header") from exc
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME:
+        raise ProtocolError(f"frame of {length} bytes exceeds {MAX_FRAME}")
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection died mid frame body") from exc
+    return decode_frame(body)
+
+
+async def write_frame(writer: asyncio.StreamWriter, message: dict) -> None:
+    writer.write(encode_frame(message))
+    await writer.drain()
+
+
+# -- response helpers --------------------------------------------------------
+
+
+def ok_response(**fields: Any) -> dict:
+    return {"ok": True, **fields}
+
+
+def error_response(error: str, message: str, **fields: Any) -> dict:
+    return {"ok": False, "error": error, "message": message, **fields}

@@ -32,9 +32,9 @@ from ..engine.sql.parser import parse_statement
 from ..engine.statement_cache import LruCache, count_params
 from ..engine.values import parse_type
 from .layouts import make_layout
-from .layouts.base import Layout
+from .layouts.base import ALIVE, Layout
 from .metadata import MetadataReport
-from .migration import Migrator
+from .migration import Migrator, read_tenant_rows
 from .schema import Extension, LogicalColumn, LogicalTable, MultiTenantSchema
 from .statement_cache import (
     CachedStatement,
@@ -602,6 +602,59 @@ class MultiTenantDatabase:
 
     def report(self) -> MetadataReport:
         return self.layout.report()
+
+    def tenant_ids(self) -> list[int]:
+        """All tenant ids, sorted — the public enumeration surface the
+        placement catalog and rebalancer use (callers used to reach into
+        ``schema._tenants``)."""
+        return sorted(config.tenant_id for config in self.schema.tenants())
+
+    def tenant_row_counts(self, tenant_id: int) -> dict[str, int]:
+        """Live logical row count per base table for one tenant.
+
+        Counts the anchor fragment under the tenant's meta-data
+        predicate (plus the Trashcan's ``alive`` filter when soft delete
+        is on), so the number matches what reconstruction returns —
+        the invariant the rebalancer verifies after a move.
+        """
+        self.schema.tenant(tenant_id)  # validates
+        layout = self.layout_for(tenant_id)
+        counts: dict[str, int] = {}
+        for table in self.schema.tables():
+            anchor = layout.fragments(tenant_id, table.name)[0]
+            conjuncts = [
+                f"{column} = {value!r}" for column, value in anchor.meta
+            ]
+            if layout.soft_delete:
+                conjuncts.append(f"{ALIVE} = 1")
+            where = " AND ".join(conjuncts) or "1 = 1"
+            counts[table.name] = int(
+                self.db.execute(
+                    f"SELECT COUNT(*) FROM {anchor.table} WHERE {where}"
+                ).scalar()
+            )
+        return counts
+
+    def export_rows(
+        self, tenant_id: int, table_name: str
+    ) -> list[tuple[int | None, dict]]:
+        """Every logical row of one tenant's table as ``(row_id,
+        {column: value})``, reconstructed from the layout's fragments.
+        ``row_id`` is ``None`` for layouts without a Row column
+        (Private Tables).  This is the snapshot feed of the cluster
+        rebalancer: re-inserting the pairs through :meth:`insert`
+        (``row_id=`` preserved) reproduces the tenant bit-identically.
+        """
+        self.schema.tenant(tenant_id)  # validates
+        layout = self.layout_for(tenant_id)
+        columns, has_row, rows = read_tenant_rows(
+            self.db, self.schema, layout, tenant_id, table_name
+        )
+        width = len(columns)
+        return [
+            (row[width] if has_row else None, dict(zip(columns, row[:width])))
+            for row in rows
+        ]
 
     def explain(self, tenant_id: int, sql: str) -> str:
         """Engine plan for the transformed query."""

@@ -20,6 +20,41 @@ from .transform.dml import DmlTransformer
 from .transform.query import ROW_ALIAS, build_reconstruction
 
 
+def read_tenant_rows(
+    db, schema: MultiTenantSchema, layout: Layout, tenant_id: int, table_name: str
+) -> tuple[list[str], bool, list[tuple]]:
+    """Reconstruct every logical row of one tenant's table.
+
+    Returns ``(column_names, has_row, rows)``: each row carries the
+    logical column values in ``column_names`` order, followed by the
+    Row id when ``has_row`` (layouts without a Row column — Private
+    Tables — have no stored row identity).  Shared by the migrator, the
+    cluster rebalancer's snapshot copy, and
+    :meth:`~repro.core.api.MultiTenantDatabase.export_rows`.
+    """
+    logical = schema.logical_table(tenant_id, table_name)
+    column_names = [c.lname for c in logical.columns]
+    binding = table_name.lower()
+    fragments = layout.fragments(tenant_id, table_name)
+    has_row = fragments[0].row_column is not None
+    recon = build_reconstruction(
+        fragments,
+        column_names,
+        binding,
+        include_row=has_row,
+        soft_delete=layout.soft_delete,
+    )
+    items = [
+        ast.SelectItem(ast.ColumnRef(binding, c), c) for c in column_names
+    ]
+    if has_row:
+        items.append(
+            ast.SelectItem(ast.ColumnRef(binding, ROW_ALIAS), ROW_ALIAS)
+        )
+    select = ast.Select(items=tuple(items), sources=(recon,))
+    return column_names, has_row, db.execute(select.sql()).rows
+
+
 class Migrator:
     """Copies tenants between layouts sharing one database + schema."""
 
@@ -46,27 +81,9 @@ class Migrator:
         target: Layout,
         target_dml: DmlTransformer,
     ) -> int:
-        logical = self.schema.logical_table(tenant_id, table_name)
-        column_names = [c.lname for c in logical.columns]
-        binding = table_name.lower()
-        fragments = source.fragments(tenant_id, table_name)
-        has_row = fragments[0].row_column is not None
-        recon = build_reconstruction(
-            fragments,
-            column_names,
-            binding,
-            include_row=has_row,
-            soft_delete=source.soft_delete,
+        column_names, has_row, rows = read_tenant_rows(
+            source.db, self.schema, source, tenant_id, table_name
         )
-        items = [
-            ast.SelectItem(ast.ColumnRef(binding, c), c) for c in column_names
-        ]
-        if has_row:
-            items.append(
-                ast.SelectItem(ast.ColumnRef(binding, ROW_ALIAS), ROW_ALIAS)
-            )
-        select = ast.Select(items=tuple(items), sources=(recon,))
-        result = source.db.execute(select.sql())
 
         # Purge BEFORE re-inserting: source and target may share
         # physical structures (e.g. two chunk layouts of different
@@ -79,7 +96,7 @@ class Migrator:
         source.db.crashpoint("migrate.after_purge")
 
         count = 0
-        for row in result.rows:
+        for row in rows:
             values = dict(zip(column_names, row[: len(column_names)]))
             row_id = row[len(column_names)] if has_row else None
             target_dml.insert_values(

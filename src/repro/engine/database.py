@@ -101,6 +101,9 @@ class Database:
         batch_rows: int = BATCH_ROWS,
         sanitize: bool | None = None,
     ) -> None:
+        #: Set before anything that can fail, so :meth:`close` is safe
+        #: on a partially constructed instance.
+        self._closed = False
         self.memory_bytes = memory_bytes
         self.page_size = page_size
         self.enforce_budget = enforce_budget
@@ -179,7 +182,15 @@ class Database:
         if self.durability is not None:
             from .durability.recovery import recover
 
-            recover(self)
+            try:
+                recover(self)
+            except BaseException:
+                # A failed open must release the WAL / page-store file
+                # handles so the caller can retry, repair, or discard
+                # the directory; close() afterwards is a no-op.
+                self._closed = True
+                self.durability.close()
+                raise
 
     # -- configuration ------------------------------------------------------
 
@@ -312,13 +323,25 @@ class Database:
 
     def close(self) -> None:
         """Flush the WAL and close the on-disk files (durable mode);
-        end-of-life leak checks when a sanitizer is attached."""
-        if self.sanitizer is not None:
-            self.sanitizer.on_close(self)
-        if self.durability is not None:
+        end-of-life leak checks when a sanitizer is attached.
+
+        Idempotent, and safe on a partially constructed instance (a
+        failed open releases its files itself), so owners like cluster
+        shard workers can tear down unconditionally in error paths.
+        """
+        if getattr(self, "_closed", False):
+            return
+        self._closed = True
+        durability = getattr(self, "durability", None)
+        if durability is not None:
             self.transactions.end_statement()
-            self.durability.wal.flush()
-            self.durability.close()
+            durability.wal.flush()
+            durability.close()
+        # Leak checks last: a raised sanitizer finding must not leave
+        # the on-disk files open behind it.
+        sanitizer = getattr(self, "sanitizer", None)
+        if sanitizer is not None:
+            sanitizer.on_close(self)
 
     def __enter__(self) -> "Database":
         return self

@@ -1,0 +1,144 @@
+"""Placement catalog: consistent hashing, pins, versioning, journal,
+and persistence."""
+
+import pytest
+
+from repro.cluster import PlacementCatalog
+from repro.cluster.errors import ClusterError, RebalanceInProgressError
+
+SHARDS = ["alpha", "beta", "gamma"]
+TENANTS = range(500)
+
+
+class TestRing:
+    def test_deterministic(self):
+        a = PlacementCatalog(SHARDS)
+        b = PlacementCatalog(SHARDS)
+        assert [a.shard_for(t) for t in TENANTS] == [
+            b.shard_for(t) for t in TENANTS
+        ]
+
+    def test_every_shard_gets_tenants(self):
+        catalog = PlacementCatalog(SHARDS)
+        placed = {catalog.shard_for(t) for t in TENANTS}
+        assert placed == set(SHARDS)
+
+    def test_adding_a_shard_only_moves_tenants_to_it(self):
+        catalog = PlacementCatalog(SHARDS)
+        before = {t: catalog.shard_for(t) for t in TENANTS}
+        catalog.add_shard("delta")
+        moved = {
+            t for t in TENANTS if catalog.shard_for(t) != before[t]
+        }
+        # Consistent hashing: every moved tenant lands on the new
+        # shard, and only a fraction of the keyspace moves at all.
+        assert moved, "a new shard should attract some tenants"
+        assert all(catalog.shard_for(t) == "delta" for t in moved)
+        assert len(moved) < len(list(TENANTS)) / 2
+
+    def test_remove_restores_prior_mapping(self):
+        catalog = PlacementCatalog(SHARDS)
+        before = {t: catalog.shard_for(t) for t in TENANTS}
+        catalog.add_shard("delta")
+        catalog.remove_shard("delta")
+        assert {t: catalog.shard_for(t) for t in TENANTS} == before
+
+    def test_duplicate_and_unknown_shards_rejected(self):
+        catalog = PlacementCatalog(SHARDS)
+        with pytest.raises(ClusterError):
+            catalog.add_shard("alpha")
+        with pytest.raises(ClusterError):
+            catalog.remove_shard("nope")
+
+    def test_empty_catalog_cannot_place(self):
+        with pytest.raises(ClusterError):
+            PlacementCatalog([]).shard_for(1)
+
+
+class TestPins:
+    def test_pin_overrides_ring(self):
+        catalog = PlacementCatalog(SHARDS)
+        tenant = next(
+            t for t in TENANTS if catalog.shard_for(t) != "beta"
+        )
+        catalog.pin(tenant, "beta")
+        assert catalog.shard_for(tenant) == "beta"
+        catalog.unpin(tenant)
+        assert catalog.shard_for(tenant) != "beta"
+
+    def test_pin_to_unknown_shard_rejected(self):
+        catalog = PlacementCatalog(SHARDS)
+        with pytest.raises(ClusterError):
+            catalog.pin(1, "nope")
+
+    def test_cannot_remove_shard_with_pins(self):
+        catalog = PlacementCatalog(SHARDS)
+        catalog.pin(7, "beta")
+        with pytest.raises(ClusterError):
+            catalog.remove_shard("beta")
+
+    def test_every_mutation_bumps_version(self):
+        catalog = PlacementCatalog(SHARDS)
+        version = catalog.version
+        catalog.pin(1, "alpha")
+        assert catalog.version == version + 1
+        catalog.unpin(1)
+        assert catalog.version == version + 2
+        catalog.unpin(1)  # no-op unpin does not bump
+        assert catalog.version == version + 2
+        catalog.add_shard("delta")
+        assert catalog.version == version + 3
+
+
+class TestJournal:
+    def test_single_move_at_a_time(self):
+        catalog = PlacementCatalog(SHARDS)
+        catalog.begin_rebalance(7, "alpha", "beta")
+        with pytest.raises(RebalanceInProgressError):
+            catalog.begin_rebalance(8, "alpha", "gamma")
+        catalog.clear_rebalance()
+        catalog.begin_rebalance(8, "alpha", "gamma")
+
+    def test_cutover_flips_pin_with_phase(self):
+        catalog = PlacementCatalog(SHARDS)
+        catalog.begin_rebalance(7, "alpha", "beta")
+        catalog.update_phase("purge", pin_dest=True)
+        assert catalog.shard_for(7) == "beta"
+        assert catalog.rebalance["phase"] == "purge"
+
+    def test_update_phase_requires_open_journal(self):
+        catalog = PlacementCatalog(SHARDS)
+        with pytest.raises(ClusterError):
+            catalog.update_phase("ship")
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        path = tmp_path / "catalog.json"
+        catalog = PlacementCatalog(SHARDS, path=path)
+        catalog.pin(7, "beta")
+        catalog.begin_rebalance(9, "alpha", "gamma")
+        catalog.save()
+        loaded = PlacementCatalog.load(path)
+        assert loaded.version == catalog.version
+        assert loaded.pins == catalog.pins
+        assert loaded.rebalance == catalog.rebalance
+        assert [loaded.shard_for(t) for t in TENANTS] == [
+            catalog.shard_for(t) for t in TENANTS
+        ]
+
+    def test_load_rejects_foreign_files(self, tmp_path):
+        path = tmp_path / "not-a-catalog.json"
+        path.write_text('{"hello": "world"}')
+        with pytest.raises(ClusterError):
+            PlacementCatalog.load(path)
+
+    def test_snapshot_restore(self):
+        catalog = PlacementCatalog(SHARDS)
+        catalog.pin(7, "beta")
+        snapshot = catalog.snapshot()
+        catalog.unpin(7)
+        catalog.add_shard("delta")
+        catalog.restore(snapshot)
+        assert catalog.shard_for(7) == "beta"
+        assert catalog.shards == SHARDS

@@ -148,3 +148,55 @@ class TestIntrospection:
         )
         rows = mtd.db.execute(sql).rows
         assert sorted(rows) == [("Acme",), ("Gump",)]
+
+
+class TestTenantIntrospection:
+    """The public enumeration surface the cluster rebalancer rides on."""
+
+    def test_tenant_ids_sorted(self, any_layout_mtd):
+        assert any_layout_mtd.tenant_ids() == [17, 35, 42]
+
+    def test_tenant_ids_track_churn(self):
+        mtd = build_running_example("chunk")
+        mtd.drop_tenant(35)
+        mtd.create_tenant(7)
+        assert mtd.tenant_ids() == [7, 17, 42]
+
+    def test_row_counts_per_table(self, any_layout_mtd):
+        assert any_layout_mtd.tenant_row_counts(17) == {"account": 2}
+        assert any_layout_mtd.tenant_row_counts(35) == {"account": 1}
+
+    def test_row_counts_respect_trashcan(self):
+        mtd = build_running_example("extension", soft_delete=True)
+        mtd.execute(17, "DELETE FROM account WHERE aid = 1")
+        assert mtd.tenant_row_counts(17) == {"account": 1}
+        mtd.restore(17, "account", [0])
+        assert mtd.tenant_row_counts(17) == {"account": 2}
+
+    def test_row_counts_unknown_tenant(self):
+        mtd = build_running_example("chunk")
+        with pytest.raises(UnknownObjectError):
+            mtd.tenant_row_counts(99)
+
+    def test_export_rows_round_trips(self, any_layout_mtd):
+        exported = any_layout_mtd.export_rows(17, "account")
+        assert len(exported) == 2
+        by_aid = {values["aid"]: values for _, values in exported}
+        assert by_aid[1]["name"] == "Acme"
+        assert by_aid[1]["beds"] == 135
+        assert by_aid[2]["hospital"] == "State"
+
+    def test_export_reinsert_reproduces_tenant(self):
+        source = build_running_example("chunk_folding")
+        target = build_running_example("pivot")
+        target.drop_tenant(17)
+        target.create_tenant(17, extensions=("healthcare",))
+        for row_id, values in source.export_rows(17, "account"):
+            target.insert(17, "account", values, row_id=row_id)
+        want = source.execute(
+            17, "SELECT aid, name, hospital, beds FROM account ORDER BY aid"
+        ).rows
+        got = target.execute(
+            17, "SELECT aid, name, hospital, beds FROM account ORDER BY aid"
+        ).rows
+        assert got == want

@@ -263,3 +263,61 @@ class TestStatsAccounting:
         db.execute("SELECT name FROM account WHERE tenant = 17 AND aid = 1")
         delta = db.pool_stats.delta(before)
         assert delta.physical_total == delta.logical_total > 0
+
+
+class TestCloseLifecycle:
+    """close() must be unconditionally safe: shard workers tear engines
+    down in error paths without knowing how far the open got."""
+
+    def _open_fds_under(self, root: str) -> list[str]:
+        import os
+
+        fds = []
+        for fd in os.listdir("/proc/self/fd"):
+            try:
+                target = os.readlink(f"/proc/self/fd/{fd}")
+            except OSError:
+                continue
+            if target.startswith(root):
+                fds.append(target)
+        return fds
+
+    def test_close_idempotent_memory_mode(self):
+        db = Database()
+        db.execute("CREATE TABLE t (id INTEGER)")
+        db.close()
+        db.close()
+
+    def test_close_idempotent_durable_mode(self, tmp_path):
+        path = str(tmp_path / "d")
+        db = Database(path=path)
+        db.execute("CREATE TABLE t (id INTEGER)")
+        db.execute("INSERT INTO t VALUES (1)")
+        db.close()
+        db.close()
+        assert not self._open_fds_under(path)
+        again = Database(path=path)
+        assert again.execute("SELECT id FROM t").rows == [(1,)]
+        again.close()
+        again.close()
+
+    def test_failed_open_releases_files(self, tmp_path, monkeypatch):
+        import repro.engine.durability.recovery as recovery_mod
+
+        path = str(tmp_path / "d")
+        first = Database(path=path)
+        first.execute("CREATE TABLE t (id INTEGER)")
+        first.close()
+
+        def boom(db):
+            raise RuntimeError("simulated recovery failure")
+
+        monkeypatch.setattr(recovery_mod, "recover", boom)
+        with pytest.raises(RuntimeError):
+            Database(path=path)
+        monkeypatch.undo()
+        assert not self._open_fds_under(path)
+        # The directory is reusable after the failed open.
+        db = Database(path=path)
+        assert db.execute("SELECT COUNT(*) FROM t").rows == [(0,)]
+        db.close()
