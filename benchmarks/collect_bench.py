@@ -1,0 +1,90 @@
+"""Merge every ``results/BENCH_*.json`` into one trajectory artifact.
+
+Each gated benchmark module writes its own ``BENCH_<name>.json``; CI
+uploads them individually, but comparing runs is easier with a single
+file.  This script collects them into ``BENCH_all.json`` keyed by
+benchmark name and prints a one-line headline per benchmark (the
+speedup figures its gates watch), so a run's perf posture is readable
+at a glance::
+
+    python benchmarks/collect_bench.py
+    python benchmarks/collect_bench.py -o /tmp/trajectory.json
+
+Exit status is 0 even when no files exist (an empty merge is a valid
+trajectory point for a fresh checkout); the merge records which files
+were present.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+DEFAULT_OUT = RESULTS_DIR / "BENCH_all.json"
+
+
+def _headline(name: str, data: dict) -> str | None:
+    """One human line per benchmark: every top-level or second-level
+    key that looks like a speedup figure."""
+    figures: list[str] = []
+
+    def visit(prefix: str, node) -> None:
+        if isinstance(node, dict):
+            for key, value in node.items():
+                label = f"{prefix}.{key}" if prefix else key
+                if key.startswith("speedup") and isinstance(
+                    value, (int, float)
+                ):
+                    figures.append(f"{label}={value:.2f}x")
+                elif isinstance(value, dict) and not key.startswith("_"):
+                    visit(label, value)
+
+    visit("", data)
+    if not figures:
+        return None
+    return f"{name}: " + ", ".join(sorted(figures))
+
+
+def collect(results_dir: pathlib.Path = RESULTS_DIR) -> dict:
+    merged: dict = {"benchmarks": {}, "files": []}
+    for path in sorted(results_dir.glob("BENCH_*.json")):
+        if path.name == "BENCH_all.json":
+            continue
+        name = path.stem.removeprefix("BENCH_")
+        try:
+            merged["benchmarks"][name] = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            print(f"warning: skipping {path.name}: {exc}", file=sys.stderr)
+            continue
+        merged["files"].append(path.name)
+    return merged
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Merge benchmarks/results/BENCH_*.json into one file."
+    )
+    parser.add_argument(
+        "-o",
+        "--out",
+        type=pathlib.Path,
+        default=DEFAULT_OUT,
+        help=f"output path (default: {DEFAULT_OUT})",
+    )
+    args = parser.parse_args(argv)
+    merged = collect()
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(json.dumps(merged, indent=2) + "\n")
+    print(f"merged {len(merged['files'])} file(s) -> {args.out}")
+    for name, data in merged["benchmarks"].items():
+        line = _headline(name, data)
+        if line is not None:
+            print("  " + line)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -98,6 +98,39 @@ def extension_corpus(
     return statements
 
 
+def cross_tenant_corpus(
+    tenant_ids: Collection[int], instance: int = 0
+) -> list[CorpusStatement]:
+    """MTSQL cross-tenant shapes: fused scans, grouped-by-tenant
+    rollups, and explicit tenant-set restriction — the statement class
+    rule ISO006 governs.  Only base columns appear (extension columns
+    are not shared across the declared set)."""
+    account = instance_table_name("account", instance)
+    ids = ", ".join(str(t) for t in sorted(tenant_ids))
+    statements = [
+        CorpusStatement(
+            f"SELECT TENANT_ID(), COUNT(*), SUM(quantity) FROM {account} "
+            f"GROUP BY TENANT_ID() ORDER BY TENANT_ID() FOR ALL TENANTS"
+        ),
+        CorpusStatement(
+            f"SELECT TENANT_ID() AS t, name FROM {account} "
+            f"WHERE status = 'open' ORDER BY t, name FOR ALL TENANTS"
+        ),
+        CorpusStatement(
+            f"SELECT status, COUNT(*) FROM {account} GROUP BY status "
+            f"ORDER BY status FOR ALL TENANTS"
+        ),
+    ]
+    if ids:
+        statements.append(
+            CorpusStatement(
+                f"SELECT TENANT_ID(), MAX(score) FROM {account} "
+                f"GROUP BY TENANT_ID() FOR TENANTS IN ({ids})"
+            )
+        )
+    return statements
+
+
 def dml_corpus(instance: int = 0) -> list[CorpusStatement]:
     """Single-row DML over the account table (phase a/b machinery)."""
     account = instance_table_name("account", instance)

@@ -55,6 +55,7 @@ RULES: dict[str, Rule] = {
         Rule("ISO003", Severity.ERROR, "tenant literal in shape-shared statement"),
         Rule("ISO004", Severity.ERROR, "missing meta discriminator conjunct"),
         Rule("ISO005", Severity.ERROR, "tenant guard binds wrong tenant"),
+        Rule("ISO006", Severity.ERROR, "tenant guard exceeds declared cross-tenant set"),
         # -- layout invariant checker (LAY) --------------------------------
         Rule("LAY001", Severity.ERROR, "fragments do not cover logical schema"),
         Rule("LAY002", Severity.WARNING, "column stored by multiple fragments"),

@@ -18,7 +18,13 @@ The discipline differs by statement provenance:
   allocated by :class:`~repro.core.transform.query.TenantParamAllocator`
   in the slot range ``[base_params, base_params + count)`` — a literal
   tenant id frozen into a shared statement serves the wrong tenant for
-  everyone else (rule ISO003).
+  everyone else (rule ISO003);
+* fused cross-tenant statements (MTSQL ``FOR TENANTS``) declare a
+  tenant *set*: every tenant guard must be a literal equality or a
+  literal ``tenant IN (...)`` list dominated by the declared set.  This
+  is a rule of its own (ISO006), not an exemption — a fused statement
+  reading one tenant more than the clause names is exactly the leak the
+  single-tenant rules exist to prevent, widened by parameterization.
 """
 
 from __future__ import annotations
@@ -65,6 +71,10 @@ class GuardContext:
     #: ``(start, stop)`` slot range of hidden tenant parameters for
     #: shape-shared cached statements; ``None`` for direct statements.
     tenant_param_range: tuple[int, int] | None = None
+    #: Declared tenant set of a fused cross-tenant statement: tenant
+    #: guards must be literals (or literal IN-lists) dominated by this
+    #: set (rule ISO006); ``None`` for single-tenant statements.
+    tenant_set: tuple[int, ...] | None = None
 
 
 class IsolationVerifier:
@@ -102,9 +112,42 @@ class IsolationVerifier:
         """Whether one ``meta_col = rhs`` conjunct is an acceptable guard."""
         context = self._context
         is_tenant = meta_col == TENANT_COLUMN
+        if isinstance(rhs, ast.InList):
+            # A tenant IN-list dominates only for declared cross-tenant
+            # statements; anywhere else it is no guard at all.
+            if not is_tenant or context.tenant_set is None or rhs.negated:
+                return False
+            values = [
+                item.value
+                for item in rhs.items
+                if isinstance(item, ast.Literal) and item.value is not None
+            ]
+            if len(values) != len(rhs.items):
+                return False
+            outside = sorted(
+                set(values) - set(context.tenant_set), key=repr
+            )
+            if outside:
+                self._flag(
+                    "ISO006",
+                    f"tenant IN-list on {table} includes {outside} beyond "
+                    f"the declared tenant set {sorted(context.tenant_set)}",
+                )
+            return True
         if isinstance(rhs, ast.Literal):
             if rhs.value is None:
                 return False
+            if (
+                is_tenant
+                and context.tenant_set is not None
+                and rhs.value not in context.tenant_set
+            ):
+                self._flag(
+                    "ISO006",
+                    f"tenant guard on {table} binds {rhs.value!r}, outside "
+                    f"the declared tenant set {sorted(context.tenant_set)}",
+                )
+                return True
             if is_tenant and context.tenant_param_range is not None:
                 self._flag(
                     "ISO003",
@@ -124,6 +167,15 @@ class IsolationVerifier:
                 )
             return True
         if isinstance(rhs, ast.Param):
+            if is_tenant and context.tenant_set is not None:
+                # Cross-tenant domination must be checkable statically:
+                # a parameter slot could widen the set at bind time.
+                self._flag(
+                    "ISO006",
+                    f"tenant guard on {table} is a parameter; cross-tenant "
+                    f"statements must bind the declared set as literals",
+                )
+                return True
             if is_tenant and context.tenant_param_range is not None:
                 start, stop = context.tenant_param_range
                 if not (start <= rhs.index < stop):
@@ -147,9 +199,21 @@ class IsolationVerifier:
     def _collect_guards(
         self, conjuncts: list[ast.Expr]
     ) -> dict[tuple[str | None, str], ast.Expr]:
-        """Top-level ``column = constant`` conjuncts by (binding, column)."""
+        """Top-level ``column = constant`` conjuncts by (binding, column).
+
+        ``column IN (...)`` conjuncts are collected as the
+        :class:`~repro.engine.sql.ast.InList` node itself — whether an
+        IN-list counts as a guard is :meth:`_guard_ok`'s call (only the
+        tenant column of declared cross-tenant statements)."""
         guards: dict[tuple[str | None, str], ast.Expr] = {}
         for conjunct in conjuncts:
+            if isinstance(conjunct, ast.InList) and isinstance(
+                conjunct.operand, ast.ColumnRef
+            ):
+                ref = conjunct.operand
+                binding = ref.table.lower() if ref.table else None
+                guards.setdefault((binding, ref.column.lower()), conjunct)
+                continue
             if not (
                 isinstance(conjunct, ast.BinaryOp) and conjunct.op == "="
             ):

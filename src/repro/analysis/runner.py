@@ -38,7 +38,13 @@ from ..engine.statement_cache import count_params
 from ..testbed.crm import crm_extensions, crm_tables, instance_table_name
 from ..testbed.variability import VariabilityConfig, distribute_tenants
 from . import invariants
-from .corpus import dml_corpus, extension_corpus, select_corpus
+from ..core.transform.crosstenant import CrossTenantTransformer
+from .corpus import (
+    cross_tenant_corpus,
+    dml_corpus,
+    extension_corpus,
+    select_corpus,
+)
 from .findings import AnalysisReport
 from .isolation import GuardContext, IsolationVerifier
 from .mutation import apply_mutation
@@ -248,6 +254,39 @@ def analyze_testbed(
                 )
             if config.mutate is None:
                 mtd.execute(tenant_id, statement.sql, statement.params)
+
+    # -- cross-tenant statements (MTSQL FOR TENANTS) ----------------------
+    # The fused statements carry the declared tenant set as literals;
+    # the verifier proves every tenant guard is dominated by the clause
+    # (ISO006).  The explicit-set statement names a strict subset so a
+    # widened resolution (the seeded widen-crosstenant mutation) has an
+    # existing tenant to leak.
+    if tenants:
+        subset = tuple(tenants[:-1]) or (tenants[0],)
+        for statement in cross_tenant_corpus(subset, 0):
+            stmt = parse_statement(statement.sql)
+            clause = stmt.tenants
+            declared = (
+                tuple(tenants)
+                if clause.all_tenants
+                else tuple(sorted(set(clause.ids)))
+            )
+            ids = mtd._resolve_tenant_set(clause)
+            transformer = CrossTenantTransformer(
+                mtd.schema, mtd.layout_for, mtd._physical_lookup
+            )
+            plan = transformer.transform(stmt, ids)
+            locus = f"{locus_prefix}cross sql={statement.sql}"
+            for group in plan.groups:
+                report.extend(
+                    verifier.check_statement(
+                        group.select,
+                        GuardContext(tenant_set=declared),
+                        locus,
+                    )
+                )
+            if config.mutate is None:
+                mtd.execute_cross(statement.sql, statement.params)
 
     # -- DML and administrative paths (recorded at the engine) ------------
     if config.mutate is None:

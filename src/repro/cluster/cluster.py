@@ -21,6 +21,7 @@ back with the moving tenant on exactly one shard.
 
 from __future__ import annotations
 
+import asyncio
 from pathlib import Path
 
 from ..engine.database import Result
@@ -172,11 +173,64 @@ class Cluster:
         self.catalog.unpin(tenant_id)
         self.catalog.save()
 
-    def tenant_ids(self) -> list[int]:
+    async def _scatter(
+        self, job_name: str, *, timeout: float | None = None
+    ) -> list:
+        """Run one admin job on every shard's worker thread concurrently.
+
+        A per-shard timeout bounds how long one stalled shard can hold
+        the whole fan-out hostage; on expiry the gather fails with a
+        :class:`ClusterError` naming the shard (the job itself keeps
+        running on the worker thread — admin reads are side-effect
+        free, so abandoning the result is safe)."""
+
+        async def one(shard: ShardWorker):
+            job = shard.submit(getattr(shard, job_name))
+            if timeout is None:
+                return await job
+            try:
+                return await asyncio.wait_for(job, timeout)
+            except asyncio.TimeoutError:
+                raise ClusterError(
+                    f"shard {shard.name!r} did not answer "
+                    f"{job_name.removeprefix('_do_')} within {timeout:g}s"
+                ) from None
+
+        return await asyncio.gather(
+            *(one(shard) for shard in self.shards.values())
+        )
+
+    async def gather_tenant_ids(
+        self, *, timeout: float | None = None
+    ) -> list[int]:
+        """Union of tenant ids across all shards, gathered concurrently."""
         ids: set[int] = set()
-        for shard in self.shards.values():
-            ids.update(shard.mtd.tenant_ids())
+        for shard_ids in await self._scatter("_do_tenant_ids", timeout=timeout):
+            ids.update(shard_ids)
         return sorted(ids)
+
+    async def gather_tenant_row_counts(
+        self, *, timeout: float | None = None
+    ) -> dict[int, dict[str, int]]:
+        """Per-tenant logical row counts across the whole cluster.
+
+        Each shard counts its own tenants on its worker thread; the
+        fan-out overlaps shard work, so the wall-clock cost is the
+        slowest shard, not the sum."""
+        merged: dict[int, dict[str, int]] = {}
+        for counts in await self._scatter(
+            "_do_tenant_row_counts", timeout=timeout
+        ):
+            merged.update(counts)
+        return dict(sorted(merged.items()))
+
+    def tenant_ids(self) -> list[int]:
+        """Synchronous facade over the concurrent scatter-gather (for
+        call sites with no event loop of their own)."""
+        return asyncio.run(self.gather_tenant_ids())
+
+    def tenant_row_counts(self) -> dict[int, dict[str, int]]:
+        return asyncio.run(self.gather_tenant_row_counts())
 
     def shard_of(self, tenant_id: int) -> str:
         return self.catalog.shard_for(tenant_id)

@@ -178,6 +178,17 @@ class ShardWorker:
         self._storage_stall()
         return rid
 
+    # -- admin-plane jobs (run on the worker thread) -------------------------
+
+    def _do_tenant_ids(self) -> list[int]:
+        return self.mtd.tenant_ids()
+
+    def _do_tenant_row_counts(self) -> dict[int, dict[str, int]]:
+        return {
+            tenant_id: self.mtd.tenant_row_counts(tenant_id)
+            for tenant_id in self.mtd.tenant_ids()
+        }
+
     # -- capture protocol (jobs submitted by the rebalancer) -----------------
 
     def begin_capture(self, tenant_id: int) -> None:

@@ -30,7 +30,7 @@ from ..engine.optimizer import OptimizerProfile
 from ..engine.sql import ast
 from ..engine.sql.parser import parse_statement
 from ..engine.statement_cache import LruCache, count_params
-from ..engine.values import parse_type
+from ..engine.values import parse_type, sort_key
 from .layouts import make_layout
 from .layouts.base import ALIVE, Layout
 from .metadata import MetadataReport
@@ -38,9 +38,11 @@ from .migration import Migrator, read_tenant_rows
 from .schema import Extension, LogicalColumn, LogicalTable, MultiTenantSchema
 from .statement_cache import (
     CachedStatement,
+    CrossTenantStatement,
     LogicalPreparedStatement,
     StatementCache,
 )
+from .transform.crosstenant import CrossTenantTransformer
 from .transform.dml import DmlTransformer, UpdateMode
 from .transform.flatten import (
     PredicateOrder,
@@ -386,6 +388,95 @@ class MultiTenantDatabase:
             tenant_id, sql, self._parse_logical(sql), params
         )
 
+    # -- cross-tenant statements (MTSQL FOR TENANTS) -------------------------
+
+    def _resolve_tenant_set(self, clause: ast.TenantClause) -> tuple[int, ...]:
+        """The concrete, validated, sorted tenant id set of a clause.
+
+        ``FOR ALL TENANTS`` resolves at execution time, so tenants
+        created after the statement was first cached are picked up (the
+        resolved set is part of the cache key)."""
+        if clause.all_tenants:
+            return tuple(self.tenant_ids())
+        for tenant_id in clause.ids:
+            self.schema.tenant(tenant_id)  # validates
+        return tuple(sorted(set(clause.ids)))
+
+    def _build_cross(
+        self, stmt: ast.Select, ids: tuple[int, ...], context: tuple
+    ) -> CrossTenantStatement:
+        transformer = CrossTenantTransformer(
+            self.schema, self.layout_for, self._physical_lookup
+        )
+        plan = transformer.transform(stmt, ids)
+        prepared = []
+        for group in plan.groups:
+            physical = group.select
+            if (
+                self.db.profile is OptimizerProfile.SIMPLE
+                and self.flatten_for_simple
+            ):
+                physical = flatten_transformed(physical, self._physical_lookup)
+                physical = order_predicates(physical, self.predicate_order)
+            prepared.append(self.db.prepare_ast(physical))
+        return CrossTenantStatement(
+            prepared, plan.merge, plan.output_names, context
+        )
+
+    def execute_cross(self, sql: str, params: Sequence[object] = ()) -> Result:
+        """Run one ``SELECT ... FOR TENANTS IN (...)`` / ``FOR ALL
+        TENANTS`` statement over the declared tenant set.
+
+        The statement is fused: one physical statement per structure
+        group (usually one total on shared layouts) with the tenant-set
+        predicate pushed into the shared scans, instead of a per-tenant
+        fan-out loop.  ``FOR ALL TENANTS`` over an empty database
+        returns an empty result."""
+        stmt = self._parse_logical(sql)
+        if not isinstance(stmt, ast.Select) or stmt.tenants is None:
+            raise PlanError(
+                "execute_cross takes a SELECT with a FOR TENANTS clause"
+            )
+        ids = self._resolve_tenant_set(stmt.tenants)
+        if not ids:
+            return Result([], [], 0)
+        context = self._statement_context()
+        entry = None
+        key = ("xt", sql, ids)
+        if self._statements.enabled:
+            entry = self._statements.lookup(key, context)
+        if entry is None:
+            entry = self._build_cross(stmt, ids, context)
+            if self._statements.enabled:
+                self._statements.store(key, entry)
+        return entry.execute(params)
+
+    def transform_cross_sql(self, sql: str) -> list[str]:
+        """The fused physical SQL a cross-tenant SELECT turns into —
+        one statement per structure group (flattened when the engine
+        optimizer is SIMPLE)."""
+        stmt = parse_statement(sql)
+        if not isinstance(stmt, ast.Select) or stmt.tenants is None:
+            raise PlanError(
+                "transform_cross_sql takes a SELECT with a FOR TENANTS clause"
+            )
+        ids = self._resolve_tenant_set(stmt.tenants)
+        transformer = CrossTenantTransformer(
+            self.schema, self.layout_for, self._physical_lookup
+        )
+        plan = transformer.transform(stmt, ids)
+        out = []
+        for group in plan.groups:
+            physical = group.select
+            if (
+                self.db.profile is OptimizerProfile.SIMPLE
+                and self.flatten_for_simple
+            ):
+                physical = flatten_transformed(physical, self._physical_lookup)
+                physical = order_predicates(physical, self.predicate_order)
+            out.append(physical.sql())
+        return out
+
     def _execute_parsed(
         self,
         tenant_id: int,
@@ -396,6 +487,11 @@ class MultiTenantDatabase:
         self.schema.tenant(tenant_id)  # validates
         layout = self.layout_for(tenant_id)
         if isinstance(stmt, ast.Select):
+            if stmt.tenants is not None:
+                raise PlanError(
+                    "FOR TENANTS statements span tenants; run them "
+                    "through execute_cross(), not a per-tenant execute()"
+                )
             cached = self._cached_select(tenant_id, sql, stmt, layout)
             if cached is not None:
                 return cached.execute(tenant_id, params)
@@ -651,10 +747,20 @@ class MultiTenantDatabase:
             self.db, self.schema, layout, tenant_id, table_name
         )
         width = len(columns)
-        return [
-            (row[width] if has_row else None, dict(zip(columns, row[:width])))
-            for row in rows
-        ]
+        # Stable (row-key, values) order: reconstruction row order is an
+        # artifact of physical placement (join order, chunk partitions)
+        # and differs across layouts, but snapshot feeds are compared
+        # across replicas and before/after migrations.
+        return sorted(
+            (
+                (row[width] if has_row else None, dict(zip(columns, row[:width])))
+                for row in rows
+            ),
+            key=lambda pair: (
+                sort_key(pair[0]),
+                [sort_key(v) for v in pair[1].values()],
+            ),
+        )
 
     def explain(self, tenant_id: int, sql: str) -> str:
         """Engine plan for the transformed query."""

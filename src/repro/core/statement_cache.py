@@ -26,7 +26,9 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from ..engine.database import Result
 from ..engine.statement_cache import LruCache, PreparedStatement
+from .transform.crosstenant import MergeSpec, merge_results
 from .transform.query import TenantParamAllocator
 
 #: Metrics namespace of the schema-mapping statement cache.
@@ -52,6 +54,35 @@ class CachedStatement:
         """Run for one tenant: the tenant id fills the allocated
         meta-data parameter slots after the logical parameters."""
         return self.prepared.execute(self.tenant_params.bind(params, tenant_id))
+
+
+class CrossTenantStatement:
+    """One transformed ``FOR TENANTS`` SELECT: a prepared fused
+    statement per structure group plus the merge recipe recombining the
+    group results.  The declared tenant set is baked into the statements
+    as literals, so the cache key (not a parameter slot) carries the
+    tenant identity."""
+
+    __slots__ = ("prepared", "merge", "output_names", "context")
+
+    def __init__(
+        self,
+        prepared: list[PreparedStatement],
+        merge: MergeSpec | None,
+        output_names: list[str],
+        context: tuple,
+    ) -> None:
+        self.prepared = prepared
+        self.merge = merge
+        self.output_names = output_names
+        self.context = context
+
+    def execute(self, params: Sequence[object]) -> Result:
+        results = [p.execute(tuple(params)) for p in self.prepared]
+        if self.merge is None:
+            return results[0]
+        rows = merge_results(self.merge, [r.rows for r in results])
+        return Result(list(self.output_names), rows, len(rows))
 
 
 class StatementCache:

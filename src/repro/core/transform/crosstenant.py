@@ -1,0 +1,982 @@
+"""Cross-tenant SELECT transformation: the MTSQL ``FOR TENANTS`` path.
+
+A statement carrying a :class:`~repro.engine.sql.ast.TenantClause` is
+evaluated once over the union of the declared tenants' data.  Instead of
+re-running the §6.1 single-tenant transformation N times (the fan-out
+loop every SaaS report degenerates into), the transformer fuses the
+tenant dimension into the physical statement itself, MTBase-style:
+
+* the per-fragment meta-data filter widens from ``tenant = t`` to
+  ``tenant IN (t1, ..., tk)``, pushed into the shared scan;
+* every table reconstruction exposes the tenant identity as a visible
+  ``__tenant`` output column, row-alignment joins widen to the compound
+  (tenant, row) key, and join queries gain cross-source tenant-equality
+  conjuncts so joins never pair rows of different tenants;
+* ``TENANT_ID()`` in the select list / WHERE / GROUP BY becomes a
+  reference to that column, so a grouped-by-tenant rollup runs as ONE
+  grouped scan over the shared physical tables.
+
+Tenants whose physical representation differs (per-tenant Private
+Tables, legacy unfolded chunk tables, a granted-extension set that
+changes which fragments the queried columns live in) cannot share one
+statement.  The transformer groups the tenant set by *reconstruction
+signature* — the physical SQL the tenant needs, modulo the tenant
+filter — and emits one fused statement per structure group.  Shared
+layouts collapse to a single group (true fusion); only structurally
+distinct stragglers pay an extra statement, and only *their* physical
+tables are read at all (tenant-set pruning).  Multi-group results are
+merged in Python: plain rows are concatenated, aggregates are
+decomposed into mergeable partials (``AVG`` ships as ``SUM`` +
+``COUNT``) and recombined per group key.
+
+Tenant identities are inlined as literals, not parameters: the declared
+tenant set is part of the statement's identity (the isolation prover
+checks literal domination — every tenant guard must stay inside the
+declared set) and of the statement-cache key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from ...engine.errors import PlanError
+from ...engine.expr import _ARITH, _COMPARE, _coerce_pair
+from ...engine.plan.logical import (
+    QueryBlock,
+    build_block,
+    conjoin,
+    output_name,
+    qualify_block,
+)
+from ...engine.sql import ast
+from ...engine.values import sort_key
+from ..layouts.base import ALIVE, Fragment, TENANT_META
+from ..schema import MultiTenantSchema
+from .query import select_needed_fragments, used_columns
+
+#: Output column every fused reconstruction exposes the tenant id as.
+TENANT_COLUMN = "__tenant"
+#: The dialect function addressing the tenant dimension.
+TENANT_FUNC = "TENANT_ID"
+
+
+def contains_tenant_fn(expr: ast.Expr | ast.Star) -> bool:
+    """Whether ``TENANT_ID()`` appears anywhere in an expression."""
+    if isinstance(expr, ast.FuncCall):
+        if expr.name.upper() == TENANT_FUNC:
+            return True
+        return any(contains_tenant_fn(a) for a in expr.args)
+    if isinstance(expr, ast.BinaryOp):
+        return contains_tenant_fn(expr.left) or contains_tenant_fn(expr.right)
+    if isinstance(expr, (ast.UnaryOp, ast.IsNull)):
+        return contains_tenant_fn(expr.operand)
+    if isinstance(expr, ast.InList):
+        return contains_tenant_fn(expr.operand) or any(
+            contains_tenant_fn(i) for i in expr.items
+        )
+    return False
+
+
+def _rewrite_tenant_fn(expr: ast.Expr, replacement: ast.Expr) -> ast.Expr:
+    """Replace every ``TENANT_ID()`` call with ``replacement``."""
+    if isinstance(expr, ast.FuncCall):
+        if expr.name.upper() == TENANT_FUNC:
+            if expr.args or expr.star:
+                raise PlanError("TENANT_ID() takes no arguments")
+            return replacement
+        return ast.FuncCall(
+            expr.name,
+            tuple(_rewrite_tenant_fn(a, replacement) for a in expr.args),
+            expr.star,
+            expr.distinct,
+        )
+    if isinstance(expr, ast.BinaryOp):
+        return ast.BinaryOp(
+            expr.op,
+            _rewrite_tenant_fn(expr.left, replacement),
+            _rewrite_tenant_fn(expr.right, replacement),
+        )
+    if isinstance(expr, ast.UnaryOp):
+        return ast.UnaryOp(expr.op, _rewrite_tenant_fn(expr.operand, replacement))
+    if isinstance(expr, ast.IsNull):
+        return ast.IsNull(
+            _rewrite_tenant_fn(expr.operand, replacement), expr.negated
+        )
+    if isinstance(expr, ast.InList):
+        return ast.InList(
+            _rewrite_tenant_fn(expr.operand, replacement),
+            tuple(_rewrite_tenant_fn(i, replacement) for i in expr.items),
+            expr.negated,
+        )
+    return expr
+
+
+def tenant_set_predicate(
+    column: ast.ColumnRef, tenant_ids: Sequence[int]
+) -> ast.Expr:
+    """The pushed-down tenant-set filter: ``= t`` or ``IN (t1, ...)``."""
+    if len(tenant_ids) == 1:
+        return ast.BinaryOp("=", column, ast.Literal(tenant_ids[0]))
+    return ast.InList(column, tuple(ast.Literal(t) for t in tenant_ids))
+
+
+def build_cross_reconstruction(
+    fragments: list[Fragment],
+    used: list[str],
+    binding: str,
+    *,
+    tenant_ids: Sequence[int] | None,
+    literal_tenant: int,
+    soft_delete: bool = False,
+) -> ast.SubquerySource:
+    """A table reconstruction widened to a tenant *set*.
+
+    Mirrors :func:`~repro.core.transform.query.build_reconstruction`
+    with three changes: the tenant meta filter is a set predicate over
+    ``tenant_ids``, the tenant identity is exposed as the
+    :data:`TENANT_COLUMN` output column, and row-alignment joins include
+    the tenant column so rows of different tenants never align.
+
+    ``tenant_ids=None`` builds the *signature probe*: the same statement
+    with the tenant filter omitted, used to decide which tenants can
+    share a fused statement (equal probe SQL = equal structure).
+    ``literal_tenant`` supplies the exposed tenant id for fragments with
+    no tenant meta column (Private Tables) — those are necessarily
+    single-tenant statements.
+    """
+    needed = select_needed_fragments(fragments, used, binding)
+    aliases = {id(f): f"f{i}" for i, f in enumerate(needed)}
+    anchor = needed[0]
+    if len(needed) > 1 and any(f.row_column is None for f in needed):
+        raise PlanError(
+            f"source {binding!r} needs row alignment but a fragment has no row column"
+        )
+
+    items: list[ast.SelectItem] = []
+    emitted: set[str] = set()
+    for column in used:
+        if column in emitted:
+            continue
+        emitted.add(column)
+        for fragment in needed:
+            if fragment.covers(column):
+                loc = fragment.column_map()[column]
+                expr: ast.Expr = ast.ColumnRef(aliases[id(fragment)], loc.physical)
+                if loc.cast:
+                    expr = ast.FuncCall(loc.cast, (expr,))
+                items.append(ast.SelectItem(expr, column))
+                break
+
+    anchor_alias = aliases[id(anchor)]
+    anchor_meta = dict(anchor.meta)
+    if TENANT_META in anchor_meta or any(
+        c == TENANT_META for c, _ in anchor.meta
+    ):
+        tenant_expr: ast.Expr = ast.ColumnRef(anchor_alias, TENANT_META)
+    else:
+        # No tenant meta column (Private Tables): the physical table IS
+        # the tenant scope, so the identity is a constant.
+        if tenant_ids is not None and len(tenant_ids) != 1:
+            raise PlanError(
+                f"source {binding!r} has per-tenant physical tables; "
+                "it cannot fuse multiple tenants into one statement"
+            )
+        tenant_expr = ast.Literal(
+            tenant_ids[0] if tenant_ids is not None else literal_tenant
+        )
+    items.append(ast.SelectItem(tenant_expr, TENANT_COLUMN))
+
+    sources = [ast.TableSource(f.table, aliases[id(f)]) for f in needed]
+
+    conjuncts: list[ast.Expr] = []
+    for fragment in needed:
+        alias = aliases[id(fragment)]
+        for meta_col, value in fragment.meta:
+            if meta_col == TENANT_META:
+                if tenant_ids is not None:
+                    conjuncts.append(
+                        tenant_set_predicate(
+                            ast.ColumnRef(alias, TENANT_META), tenant_ids
+                        )
+                    )
+                continue
+            conjuncts.append(
+                ast.BinaryOp(
+                    "=", ast.ColumnRef(alias, meta_col), ast.Literal(value)
+                )
+            )
+        if soft_delete:
+            conjuncts.append(
+                ast.BinaryOp("=", ast.ColumnRef(alias, ALIVE), ast.Literal(1))
+            )
+    for fragment in needed[1:]:
+        alias = aliases[id(fragment)]
+        if any(c == TENANT_META for c, _ in fragment.meta) and any(
+            c == TENANT_META for c, _ in anchor.meta
+        ):
+            conjuncts.append(
+                ast.BinaryOp(
+                    "=",
+                    ast.ColumnRef(anchor_alias, TENANT_META),
+                    ast.ColumnRef(alias, TENANT_META),
+                )
+            )
+        conjuncts.append(
+            ast.BinaryOp(
+                "=",
+                ast.ColumnRef(anchor_alias, anchor.row_column),
+                ast.ColumnRef(alias, fragment.row_column),
+            )
+        )
+
+    select = ast.Select(
+        items=tuple(items), sources=tuple(sources), where=conjoin(conjuncts)
+    )
+    return ast.SubquerySource(select, binding)
+
+
+# ---------------------------------------------------------------------------
+# Plans
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AggPartial:
+    """One logical aggregate decomposed into mergeable partial columns.
+
+    ``columns`` are absolute positions in the partial statement's output
+    row; AVG carries two (its SUM and COUNT), everything else one.
+    """
+
+    fingerprint: str  # sql() of the rewritten aggregate call
+    func: str  # COUNT | COUNT_STAR | SUM | MIN | MAX | AVG
+    columns: tuple[int, ...]
+
+
+@dataclass
+class MergeSpec:
+    """How to combine per-group results into the final answer."""
+
+    aggregated: bool
+    distinct: bool = False
+    limit: int | None = None
+    # concat path: (output column index, descending) sort keys.
+    order_indexes: tuple[tuple[int, bool], ...] = ()
+    # aggregate path:
+    key_fingerprints: tuple[str, ...] = ()
+    partial_ops: tuple[str, ...] = ()  # count | sum | min | max, per partial col
+    aggs: tuple[AggPartial, ...] = ()
+    item_exprs: tuple[ast.Expr, ...] = ()
+    having: ast.Expr | None = None
+    order_exprs: tuple[tuple[ast.Expr, bool], ...] = ()
+    alias_positions: dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class CrossGroup:
+    """One structure group: the tenants and their fused statement."""
+
+    tenant_ids: tuple[int, ...]
+    select: ast.Select
+
+
+@dataclass
+class CrossPlan:
+    """The transformed cross-tenant statement: one fused physical
+    statement per structure group plus (for multiple groups) the merge
+    recipe.  ``merge is None`` means the single group's statement IS the
+    answer — ORDER BY / LIMIT / HAVING ran inside the engine."""
+
+    tenant_ids: tuple[int, ...]
+    groups: list[CrossGroup]
+    merge: MergeSpec | None
+    output_names: list[str]
+
+
+# ---------------------------------------------------------------------------
+# The transformer
+# ---------------------------------------------------------------------------
+
+_UNSUPPORTED = (
+    "cross-tenant statements do not support {what}: the per-tenant "
+    "fan-out loop is the escape hatch"
+)
+
+
+class CrossTenantTransformer:
+    """Transforms ``FOR TENANTS`` SELECTs into fused physical plans.
+
+    ``layout_for`` resolves a tenant id to its layout — per-tenant
+    overrides from on-the-fly migration included, which is exactly what
+    makes migrated tenants land in their own structure group.
+    """
+
+    def __init__(
+        self,
+        schema: MultiTenantSchema,
+        layout_for: Callable[[int], object],
+        physical_lookup: Callable[[str], list[str]] | None = None,
+    ) -> None:
+        self.schema = schema
+        self.layout_for = layout_for
+        self._physical_lookup = physical_lookup
+
+    # -- validation ---------------------------------------------------------
+
+    def _validate(self, select: ast.Select) -> None:
+        for source in select.sources:
+            if isinstance(source, ast.SubquerySource):
+                raise PlanError(_UNSUPPORTED.format(what="FROM subqueries"))
+
+        def check(expr: ast.Expr | None) -> None:
+            if expr is None:
+                return
+            if isinstance(expr, ast.InSubquery):
+                raise PlanError(_UNSUPPORTED.format(what="IN (SELECT ...)"))
+            if isinstance(expr, ast.FuncCall):
+                if expr.distinct and expr.is_aggregate:
+                    raise PlanError(
+                        _UNSUPPORTED.format(what="DISTINCT aggregates")
+                    )
+                for arg in expr.args:
+                    check(arg)
+            elif isinstance(expr, ast.BinaryOp):
+                check(expr.left)
+                check(expr.right)
+            elif isinstance(expr, (ast.UnaryOp, ast.IsNull)):
+                check(expr.operand)
+            elif isinstance(expr, ast.InList):
+                check(expr.operand)
+                for item in expr.items:
+                    check(item)
+
+        for item in select.items:
+            if not isinstance(item.expr, ast.Star):
+                check(item.expr)
+        check(select.where)
+        for expr in select.group_by:
+            check(expr)
+        check(select.having)
+        for order in select.order_by:
+            check(order.expr)
+
+    # -- entry point --------------------------------------------------------
+
+    def transform(
+        self, select: ast.Select, tenant_ids: Sequence[int]
+    ) -> CrossPlan:
+        if not tenant_ids:
+            raise PlanError("cross-tenant statement over an empty tenant set")
+        ids = tuple(sorted(set(tenant_ids)))
+        self._validate(select)
+        if select.tenants is not None:
+            select = ast.Select(
+                items=select.items,
+                sources=select.sources,
+                where=select.where,
+                group_by=select.group_by,
+                having=select.having,
+                order_by=select.order_by,
+                limit=select.limit,
+                distinct=select.distinct,
+            )
+
+        lookup = self._lookup_for(ids[0])
+        block = qualify_block(build_block(select), lookup)
+        # Expand ORDER BY alias references into their select-item
+        # expressions: the engine resolves aliases post-projection, but
+        # flattening a fused reconstruction renames physical columns out
+        # from under that resolution (generic layouts map ``name`` to
+        # ``col2``), so only fully-expanded order expressions are safe.
+        aliases = {
+            item.alias.lower(): item.expr
+            for item in block.items
+            if item.alias is not None and not isinstance(item.expr, ast.Star)
+        }
+        if aliases and block.order_by:
+            block.order_by = [
+                ast.OrderItem(
+                    aliases.get(order.expr.column.lower(), order.expr)
+                    if isinstance(order.expr, ast.ColumnRef)
+                    and order.expr.table is None
+                    else order.expr,
+                    order.descending,
+                )
+                for order in block.order_by
+            ]
+        usage = used_columns(block)
+
+        # Which FROM sources are tenant-mapped logical tables.
+        recon_specs: list[tuple[int, str, str, list[str]]] = []
+        for position, source in enumerate(block.sources):
+            if isinstance(source, ast.TableSource) and self.schema.has_table(
+                source.name
+            ):
+                binding = source.binding.lower()
+                recon_specs.append(
+                    (position, source.name, binding, usage.get(binding, []))
+                )
+
+        groups = self._group_tenants(ids, recon_specs)
+        aggregated = block.is_aggregating
+
+        if len(groups) == 1:
+            (layout, members) = groups[0]
+            fused = self._fused_select(block, recon_specs, layout, members)
+            names = [output_name(i, n) for n, i in enumerate(fused.items)]
+            return CrossPlan(ids, [CrossGroup(members, fused)], None, names)
+
+        if aggregated:
+            return self._aggregate_plan(block, recon_specs, ids, groups)
+        return self._concat_plan(block, recon_specs, ids, groups)
+
+    # -- tenant grouping ----------------------------------------------------
+
+    def _lookup_for(self, tenant_id: int):
+        logical = self.schema.logical_lookup(tenant_id)
+
+        def lookup(table_name: str) -> list[str]:
+            if self.schema.has_table(table_name):
+                return logical(table_name)
+            if self._physical_lookup is not None:
+                return self._physical_lookup(table_name)
+            return logical(table_name)  # raises UnknownObjectError
+
+        return lookup
+
+    def _group_tenants(
+        self,
+        tenant_ids: tuple[int, ...],
+        recon_specs: list[tuple[int, str, str, list[str]]],
+    ) -> list[tuple[object, tuple[int, ...]]]:
+        """Partition the tenant set into structure groups.
+
+        The signature is the probe reconstruction's SQL (tenant filter
+        omitted): tenants producing byte-identical probes read exactly
+        the same physical tables/columns and can share one statement.
+        """
+        buckets: dict[tuple, tuple[object, list[int]]] = {}
+        for tenant_id in tenant_ids:
+            layout = self.layout_for(tenant_id)
+            parts = []
+            for _pos, table_name, binding, used in recon_specs:
+                fragments = layout.fragments(tenant_id, table_name)
+                probe = build_cross_reconstruction(
+                    fragments,
+                    used,
+                    binding,
+                    tenant_ids=None,
+                    literal_tenant=tenant_id,
+                    soft_delete=layout.soft_delete,
+                )
+                parts.append(probe.select.sql())
+            signature = tuple(parts)
+            bucket = buckets.get(signature)
+            if bucket is None:
+                buckets[signature] = (layout, [tenant_id])
+            else:
+                bucket[1].append(tenant_id)
+        return [
+            (layout, tuple(members)) for layout, members in buckets.values()
+        ]
+
+    # -- fused statement assembly -------------------------------------------
+
+    def _build_sources(
+        self,
+        block: QueryBlock,
+        recon_specs: list[tuple[int, str, str, list[str]]],
+        layout,
+        members: tuple[int, ...],
+    ) -> tuple[list[ast.Source], list[ast.Expr], ast.ColumnRef]:
+        """The fused FROM clause for one group: reconstructions with the
+        tenant-set filter pushed down, plus cross-source tenant-equality
+        conjuncts, plus the canonical ``TENANT_ID()`` replacement ref."""
+        recon_at = {pos: (name, binding, used) for pos, name, binding, used in recon_specs}
+        sources: list[ast.Source] = []
+        tenant_refs: list[ast.ColumnRef] = []
+        representative = members[0]
+        for position, source in enumerate(block.sources):
+            spec = recon_at.get(position)
+            if spec is None:
+                sources.append(source)
+                continue
+            table_name, binding, used = spec
+            fragments = layout.fragments(representative, table_name)
+            sources.append(
+                build_cross_reconstruction(
+                    fragments,
+                    used,
+                    binding,
+                    tenant_ids=members,
+                    literal_tenant=representative,
+                    soft_delete=layout.soft_delete,
+                )
+            )
+            tenant_refs.append(ast.ColumnRef(binding, TENANT_COLUMN))
+        if not tenant_refs:
+            raise PlanError(
+                "cross-tenant statement references no tenant-mapped table"
+            )
+        # Joins must stay within one tenant: equate every source's
+        # exposed tenant id with the first's.
+        equalities: list[ast.Expr] = [
+            ast.BinaryOp("=", tenant_refs[0], other)
+            for other in tenant_refs[1:]
+        ]
+        return sources, equalities, tenant_refs[0]
+
+    def _rewrite_items(
+        self, items: list[ast.SelectItem], tenant_ref: ast.ColumnRef
+    ) -> list[ast.SelectItem]:
+        out = []
+        for item in items:
+            alias = item.alias
+            if (
+                alias is None
+                and isinstance(item.expr, ast.FuncCall)
+                and item.expr.name.upper() == TENANT_FUNC
+            ):
+                alias = "tenant_id"
+            out.append(
+                ast.SelectItem(_rewrite_tenant_fn(item.expr, tenant_ref), alias)
+            )
+        return out
+
+    def _fused_select(
+        self,
+        block: QueryBlock,
+        recon_specs: list[tuple[int, str, str, list[str]]],
+        layout,
+        members: tuple[int, ...],
+    ) -> ast.Select:
+        """The complete fused statement for a single structure group —
+        ORDER BY / LIMIT / HAVING run inside the engine."""
+        sources, equalities, tenant_ref = self._build_sources(
+            block, recon_specs, layout, members
+        )
+        conjuncts = equalities + [
+            _rewrite_tenant_fn(c, tenant_ref) for c in block.conjuncts
+        ]
+        return ast.Select(
+            items=tuple(self._rewrite_items(block.items, tenant_ref)),
+            sources=tuple(sources),
+            where=conjoin(conjuncts),
+            group_by=tuple(
+                _rewrite_tenant_fn(e, tenant_ref) for e in block.group_by
+            ),
+            having=_rewrite_tenant_fn(block.having, tenant_ref)
+            if block.having is not None
+            else None,
+            order_by=tuple(
+                ast.OrderItem(_rewrite_tenant_fn(o.expr, tenant_ref), o.descending)
+                for o in block.order_by
+            ),
+            limit=block.limit,
+            distinct=block.distinct,
+        )
+
+    # -- multi-group plans ---------------------------------------------------
+
+    def _concat_plan(
+        self,
+        block: QueryBlock,
+        recon_specs,
+        ids: tuple[int, ...],
+        groups,
+    ) -> CrossPlan:
+        """Non-aggregating multi-group plan: per-group statements keep
+        ORDER BY / LIMIT (a valid per-group top-k), the merge re-sorts
+        and re-limits globally."""
+        group_plans: list[CrossGroup] = []
+        names: list[str] = []
+        for layout, members in groups:
+            fused = self._fused_select(block, recon_specs, layout, members)
+            # HAVING without aggregation behaves as a WHERE; keep it.
+            group_plans.append(CrossGroup(members, fused))
+            if not names:
+                names = [output_name(i, n) for n, i in enumerate(fused.items)]
+
+        alias_positions = {
+            name: position for position, name in enumerate(names)
+        }
+        rewritten_items = group_plans[0].select.items
+        item_fps = [item.expr.sql() for item in rewritten_items]
+        order_indexes: list[tuple[int, bool]] = []
+        for order in group_plans[0].select.order_by:
+            expr = order.expr
+            index: int | None = None
+            if isinstance(expr, ast.ColumnRef) and expr.table is None:
+                index = alias_positions.get(expr.column.lower())
+            if index is None:
+                fp = expr.sql()
+                index = next(
+                    (n for n, f in enumerate(item_fps) if f == fp), None
+                )
+            if index is None:
+                raise PlanError(
+                    _UNSUPPORTED.format(
+                        what="ORDER BY on unselected expressions over "
+                        "structurally heterogeneous tenant sets"
+                    )
+                )
+            order_indexes.append((index, order.descending))
+        merge = MergeSpec(
+            aggregated=False,
+            distinct=block.distinct,
+            limit=block.limit,
+            order_indexes=tuple(order_indexes),
+        )
+        return CrossPlan(ids, group_plans, merge, names)
+
+    def _aggregate_plan(
+        self,
+        block: QueryBlock,
+        recon_specs,
+        ids: tuple[int, ...],
+        groups,
+    ) -> CrossPlan:
+        """Aggregating multi-group plan: per-group statements compute
+        partial aggregates keyed by the GROUP BY exprs; the merge
+        recombines partials, applies HAVING, evaluates the original
+        select items, then sorts/limits."""
+        # Rewrite once against a canonical tenant ref to fix fingerprints
+        # (the rewritten exprs are identical across groups: bindings come
+        # from the logical statement).
+        first_layout, first_members = groups[0]
+        _sources, _eq, tenant_ref = self._build_sources(
+            block, recon_specs, first_layout, first_members
+        )
+        key_exprs = [_rewrite_tenant_fn(e, tenant_ref) for e in block.group_by]
+        items = self._rewrite_items(block.items, tenant_ref)
+        having = (
+            _rewrite_tenant_fn(block.having, tenant_ref)
+            if block.having is not None
+            else None
+        )
+        order_exprs = [
+            (_rewrite_tenant_fn(o.expr, tenant_ref), o.descending)
+            for o in block.order_by
+        ]
+
+        # Collect every distinct aggregate call reachable from the final
+        # expressions and decompose it into mergeable partials.
+        agg_calls: dict[str, ast.FuncCall] = {}
+
+        def collect(expr: ast.Expr | None) -> None:
+            if expr is None:
+                return
+            if isinstance(expr, ast.FuncCall) and expr.is_aggregate:
+                agg_calls.setdefault(expr.sql(), expr)
+                return
+            if isinstance(expr, ast.BinaryOp):
+                collect(expr.left)
+                collect(expr.right)
+            elif isinstance(expr, (ast.UnaryOp, ast.IsNull)):
+                collect(expr.operand)
+            elif isinstance(expr, ast.FuncCall):
+                for arg in expr.args:
+                    collect(arg)
+            elif isinstance(expr, ast.InList):
+                collect(expr.operand)
+                for i in expr.items:
+                    collect(i)
+
+        for item in items:
+            collect(item.expr)
+        collect(having)
+        for expr, _desc in order_exprs:
+            collect(expr)
+
+        key_count = len(key_exprs)
+        partial_items: list[ast.SelectItem] = [
+            ast.SelectItem(expr, f"k{n}") for n, expr in enumerate(key_exprs)
+        ]
+        partial_ops: list[str] = []
+        aggs: list[AggPartial] = []
+        for fingerprint, call in agg_calls.items():
+            name = call.name.upper()
+            position = key_count + len(partial_ops)
+            if name == "AVG":
+                partial_items.append(
+                    ast.SelectItem(ast.FuncCall("SUM", call.args), f"a{len(partial_ops)}")
+                )
+                partial_items.append(
+                    ast.SelectItem(
+                        ast.FuncCall("COUNT", call.args), f"a{len(partial_ops) + 1}"
+                    )
+                )
+                partial_ops.extend(("sum", "count"))
+                aggs.append(AggPartial(fingerprint, "AVG", (position, position + 1)))
+                continue
+            partial_items.append(ast.SelectItem(call, f"a{len(partial_ops)}"))
+            if name == "COUNT":
+                partial_ops.append("count")
+                aggs.append(
+                    AggPartial(
+                        fingerprint,
+                        "COUNT_STAR" if call.star else "COUNT",
+                        (position,),
+                    )
+                )
+            elif name == "SUM":
+                partial_ops.append("sum")
+                aggs.append(AggPartial(fingerprint, "SUM", (position,)))
+            else:  # MIN / MAX
+                partial_ops.append(name.lower())
+                aggs.append(AggPartial(fingerprint, name, (position,)))
+
+        # Validate the final expressions are evaluable from key values
+        # and merged aggregates alone.
+        env_fps = {e.sql() for e in key_exprs} | set(agg_calls)
+        alias_names = {
+            item.alias.lower() for item in items if item.alias is not None
+        }
+        for item in items:
+            _check_final_expr(item.expr, env_fps, alias_names)
+        if having is not None:
+            _check_final_expr(having, env_fps, alias_names)
+        for expr, _desc in order_exprs:
+            _check_final_expr(expr, env_fps, alias_names)
+
+        group_plans: list[CrossGroup] = []
+        for layout, members in groups:
+            sources, equalities, ref = self._build_sources(
+                block, recon_specs, layout, members
+            )
+            conjuncts = equalities + [
+                _rewrite_tenant_fn(c, ref) for c in block.conjuncts
+            ]
+            partial = ast.Select(
+                items=tuple(partial_items),
+                sources=tuple(sources),
+                where=conjoin(conjuncts),
+                group_by=tuple(key_exprs),
+            )
+            group_plans.append(CrossGroup(members, partial))
+
+        names = [output_name(i, n) for n, i in enumerate(items)]
+        merge = MergeSpec(
+            aggregated=True,
+            distinct=block.distinct,
+            limit=block.limit,
+            key_fingerprints=tuple(e.sql() for e in key_exprs),
+            partial_ops=tuple(partial_ops),
+            aggs=tuple(aggs),
+            item_exprs=tuple(item.expr for item in items),
+            having=having,
+            order_exprs=tuple(order_exprs),
+            alias_positions={
+                item.alias.lower(): n
+                for n, item in enumerate(items)
+                if item.alias is not None
+            },
+        )
+        return CrossPlan(ids, group_plans, merge, names)
+
+
+# ---------------------------------------------------------------------------
+# Merge-time evaluation
+# ---------------------------------------------------------------------------
+
+_SCALAR_FUNCS = {"LENGTH", "UPPER", "LOWER", "ABS", "COALESCE"}
+
+
+def _check_final_expr(
+    expr: ast.Expr, env_fps: set[str], alias_names: set[str]
+) -> None:
+    if expr.sql() in env_fps:
+        return
+    if isinstance(expr, ast.Literal):
+        return
+    if isinstance(expr, ast.ColumnRef):
+        if expr.table is None and expr.column.lower() in alias_names:
+            return
+        raise PlanError(
+            f"column {expr.sql()} is neither grouped nor aggregated in a "
+            "cross-tenant rollup"
+        )
+    if isinstance(expr, ast.BinaryOp):
+        _check_final_expr(expr.left, env_fps, alias_names)
+        _check_final_expr(expr.right, env_fps, alias_names)
+        return
+    if isinstance(expr, (ast.UnaryOp, ast.IsNull)):
+        _check_final_expr(expr.operand, env_fps, alias_names)
+        return
+    if isinstance(expr, ast.FuncCall) and expr.name.upper() in _SCALAR_FUNCS:
+        for arg in expr.args:
+            _check_final_expr(arg, env_fps, alias_names)
+        return
+    raise PlanError(
+        f"cannot merge expression {expr.sql()} across structure groups"
+    )
+
+
+def _eval_final(
+    expr: ast.Expr,
+    env: dict[str, object],
+    out_row: tuple | None = None,
+    alias_positions: dict[str, int] | None = None,
+):
+    fingerprint = expr.sql()
+    if fingerprint in env:
+        return env[fingerprint]
+    if isinstance(expr, ast.Literal):
+        return expr.value
+    if isinstance(expr, ast.ColumnRef):
+        if (
+            expr.table is None
+            and alias_positions is not None
+            and out_row is not None
+        ):
+            index = alias_positions.get(expr.column.lower())
+            if index is not None:
+                return out_row[index]
+        raise PlanError(f"unresolved merge reference {expr.sql()}")
+    if isinstance(expr, ast.BinaryOp):
+        op = expr.op.upper()
+        left = _eval_final(expr.left, env, out_row, alias_positions)
+        if op == "AND":
+            if left is False:
+                return False
+            right = _eval_final(expr.right, env, out_row, alias_positions)
+            if right is False:
+                return False
+            return None if left is None or right is None else True
+        if op == "OR":
+            if left is True:
+                return True
+            right = _eval_final(expr.right, env, out_row, alias_positions)
+            if right is True:
+                return True
+            return None if left is None or right is None else False
+        right = _eval_final(expr.right, env, out_row, alias_positions)
+        if left is None or right is None:
+            return None
+        if op in _COMPARE:
+            left, right = _coerce_pair(left, right)
+            try:
+                return _COMPARE[op](left, right)
+            except TypeError:
+                return _COMPARE[op](sort_key(left), sort_key(right))
+        if op in _ARITH:
+            return _ARITH[op](left, right)
+        raise PlanError(f"unsupported merge operator {expr.op!r}")
+    if isinstance(expr, ast.UnaryOp):
+        value = _eval_final(expr.operand, env, out_row, alias_positions)
+        if expr.op.upper() == "NOT":
+            return None if value is None else not value
+        return None if value is None else -value
+    if isinstance(expr, ast.IsNull):
+        value = _eval_final(expr.operand, env, out_row, alias_positions)
+        return value is not None if expr.negated else value is None
+    if isinstance(expr, ast.FuncCall):
+        name = expr.name.upper()
+        args = [
+            _eval_final(a, env, out_row, alias_positions) for a in expr.args
+        ]
+        if name == "COALESCE":
+            return next((a for a in args if a is not None), None)
+        if args and args[0] is None:
+            return None
+        if name == "LENGTH":
+            return len(str(args[0]))
+        if name == "UPPER":
+            return str(args[0]).upper()
+        if name == "LOWER":
+            return str(args[0]).lower()
+        if name == "ABS":
+            return abs(args[0])
+    raise PlanError(f"cannot evaluate merge expression {expr.sql()}")
+
+
+def _combine(op: str, a, b):
+    if op == "count":
+        return a + b
+    if b is None:
+        return a
+    if a is None:
+        return b
+    if op == "sum":
+        return a + b
+    if op == "min":
+        return b if sort_key(b) < sort_key(a) else a
+    return b if sort_key(b) > sort_key(a) else a
+
+
+def _finalize(agg: AggPartial, partials: list):
+    if agg.func == "AVG":
+        total = partials_at(partials, agg.columns[0])
+        count = partials_at(partials, agg.columns[1])
+        if not count:
+            return None
+        return total / count
+    return partials_at(partials, agg.columns[0])
+
+
+def partials_at(partials: list, absolute: int):
+    return partials[absolute]
+
+
+def merge_results(
+    spec: MergeSpec, results: Sequence[Sequence[tuple]]
+) -> list[tuple]:
+    """Combine per-group result rows into the final answer."""
+    if not spec.aggregated:
+        rows = [row for group_rows in results for row in group_rows]
+        if spec.distinct:
+            seen: set = set()
+            unique = []
+            for row in rows:
+                if row not in seen:
+                    seen.add(row)
+                    unique.append(row)
+            rows = unique
+        for index, descending in reversed(spec.order_indexes):
+            rows.sort(key=lambda r: sort_key(r[index]), reverse=descending)
+        if spec.limit is not None:
+            rows = rows[: spec.limit]
+        return rows
+
+    key_count = len(spec.key_fingerprints)
+    merged: dict[tuple, list] = {}
+    for group_rows in results:
+        for row in group_rows:
+            key = tuple(row[:key_count])
+            partials = merged.get(key)
+            if partials is None:
+                merged[key] = list(row)
+            else:
+                for n, op in enumerate(spec.partial_ops):
+                    index = key_count + n
+                    partials[index] = _combine(op, partials[index], row[index])
+
+    out: list[tuple[tuple, dict]] = []
+    for key, partials in merged.items():
+        env: dict[str, object] = {
+            fp: key[n] for n, fp in enumerate(spec.key_fingerprints)
+        }
+        for agg in spec.aggs:
+            env[agg.fingerprint] = _finalize(agg, partials)
+        if spec.having is not None:
+            if _eval_final(spec.having, env) is not True:
+                continue
+        row = tuple(_eval_final(expr, env) for expr in spec.item_exprs)
+        out.append((row, env))
+
+    rows = [row for row, _env in out]
+    if spec.order_exprs:
+        decorated = out
+        for expr, descending in reversed(spec.order_exprs):
+            decorated = sorted(
+                decorated,
+                key=lambda pair: sort_key(
+                    _eval_final(expr, pair[1], pair[0], spec.alias_positions)
+                ),
+                reverse=descending,
+            )
+        rows = [row for row, _env in decorated]
+    if spec.limit is not None:
+        rows = rows[: spec.limit]
+    return rows

@@ -103,27 +103,23 @@ def used_columns(block: QueryBlock) -> dict[str, list[str]]:
     return order
 
 
-def build_reconstruction(
+def select_needed_fragments(
     fragments: list[Fragment],
     used: list[str],
     binding: str,
     *,
-    include_row: bool = False,
-    soft_delete: bool = False,
     all_fragments: bool = False,
-    tenant_params: TenantParamAllocator | None = None,
-) -> ast.SubquerySource:
-    """The table-reconstruction query for one logical source (step 3).
+) -> list[Fragment]:
+    """Which fragments a reconstruction must read ("if a query does not
+    reference one of the tables, then there is no need to read it in").
 
-    Only fragments contributing used columns participate ("if a query
-    does not reference one of the tables, then there is no need to read
-    it in").  ``include_row`` additionally exposes the anchor's Row id
-    as ``__row``; ``all_fragments`` forces every fragment in (DML over
-    all chunks, e.g. soft deletes).
+    Shared by the single-tenant and cross-tenant builders — the
+    cross-tenant path also uses the selection as a tenant's *structure
+    signature* for fusing statements across tenants.
     """
     if not fragments:
         raise PlanError(f"no fragments for source {binding!r}")
-    covered = set()
+    covered: set[str] = set()
     needed: list[Fragment] = []
     for fragment in fragments:
         wanted = [c for c in used if fragment.covers(c) and c not in covered]
@@ -137,6 +133,29 @@ def build_reconstruction(
         )
     if not needed:
         needed = [fragments[0]]
+    return needed
+
+
+def build_reconstruction(
+    fragments: list[Fragment],
+    used: list[str],
+    binding: str,
+    *,
+    include_row: bool = False,
+    soft_delete: bool = False,
+    all_fragments: bool = False,
+    tenant_params: TenantParamAllocator | None = None,
+) -> ast.SubquerySource:
+    """The table-reconstruction query for one logical source (step 3).
+
+    Only fragments contributing used columns participate; ``include_row``
+    additionally exposes the anchor's Row id as ``__row``;
+    ``all_fragments`` forces every fragment in (DML over all chunks,
+    e.g. soft deletes).
+    """
+    needed = select_needed_fragments(
+        fragments, used, binding, all_fragments=all_fragments
+    )
 
     aliases = {id(f): f"f{i}" for i, f in enumerate(needed)}
     anchor = needed[0]

@@ -87,31 +87,53 @@ class ColumnBatch:
     transparently get assembled row tuples.
     """
 
-    __slots__ = ("_base", "_sel", "_cols", "_rows", "_len")
+    __slots__ = ("_base", "_sel", "_cols", "_rows", "_len", "_base_len")
 
-    def __init__(self, columns: list[list], sel: list[int] | None = None):
+    def __init__(
+        self,
+        columns: list[list | None],
+        sel: list[int] | None = None,
+        *,
+        length: int | None = None,
+    ):
         self._base = columns
         self._sel = sel
         self._cols: dict[int, list] | None = {} if sel is not None else None
         self._rows: list[tuple] | None = None
-        if sel is not None:
-            self._len = len(sel)
-        else:
-            self._len = len(columns[0]) if columns else 0
+        if length is None:
+            # A pruned (``None``) column has no length; find a real one.
+            length = 0
+            for column in columns:
+                if column is not None:
+                    length = len(column)
+                    break
+        self._base_len = length
+        self._len = len(sel) if sel is not None else length
 
     @property
     def width(self) -> int:
         return len(self._base)
 
     def col(self, i: int) -> list:
-        """Column ``i`` as a value list (selection applied, cached)."""
+        """Column ``i`` as a value list (selection applied, cached).
+
+        A column the scan pruned (base entry ``None``) materializes as
+        all-NULL on first touch; the planner only prunes columns it can
+        prove no expression reads, so these values feed nothing but
+        positional row assembly."""
         if self._sel is None:
-            return self._base[i]
+            base = self._base[i]
+            if base is None:
+                base = self._base[i] = [None] * self._base_len
+            return base
         assert self._cols is not None
         cached = self._cols.get(i)
         if cached is None:
             base, sel = self._base[i], self._sel
-            cached = self._cols[i] = [base[j] for j in sel]
+            if base is None:
+                cached = self._cols[i] = [None] * len(sel)
+            else:
+                cached = self._cols[i] = [base[j] for j in sel]
         return cached
 
     def take(self, sel: list[int]) -> "ColumnBatch":
@@ -119,7 +141,7 @@ class ColumnBatch:
         if self._sel is not None:
             prior = self._sel
             sel = [prior[j] for j in sel]
-        return ColumnBatch(self._base, sel)
+        return ColumnBatch(self._base, sel, length=self._base_len)
 
     def rows(self) -> list[tuple]:
         """Assemble (and cache) the row tuples."""
@@ -264,16 +286,26 @@ class ColumnStore(HeapFile):
                         tuple(column[slot_no] for column in columns),
                     )
 
-    def scan_batches(self, batch_rows: int) -> Iterator[ColumnBatch]:
+    def scan_batches(
+        self, batch_rows: int, columns: list[int] | None = None
+    ) -> Iterator[ColumnBatch]:
         """Late-materializing scan: yields :class:`ColumnBatch` objects
         whose row tuples are only assembled if a downstream operator
         asks.  Page accounting matches :meth:`scan` exactly (one logical
         read per page, one ``heap.scans`` tick per call), and batch
         boundaries match the heap's ``scan_batches`` (full batches of
         ``batch_rows``, remainder last) so cross-engine and cross-format
-        batch counts line up."""
+        batch counts line up.
+
+        ``columns`` (slot positions) prunes the copy: only the listed
+        columns are materialized, the rest ride along as ``None`` and
+        NULL-fill if a batch is ever row-assembled.  The planner passes
+        this only when it can prove no expression reads a pruned slot.
+        """
         self._count("scans", "heap.scans")
-        pending: list[list] | None = None
+        keep = None if columns is None else set(columns)
+        pending: list[list | None] | None = None
+        pending_len = 0
         for pid in list(self._page_ids):
             page = self._pool.read(pid)
             payload: ColumnPage = page.payload
@@ -284,26 +316,48 @@ class ColumnStore(HeapFile):
                 # Dense page: copy columns wholesale (the page's own
                 # lists stay private — later inserts must not mutate a
                 # batch already yielded downstream).
-                cols = [list(column) for column in payload.columns]
+                cols = [
+                    list(column) if keep is None or i in keep else None
+                    for i, column in enumerate(payload.columns)
+                ]
+                nrows = len(widths)
             else:
                 live = [i for i, w in enumerate(widths) if w is not None]
                 cols = [
-                    [column[i] for i in live] for column in payload.columns
+                    [column[j] for j in live]
+                    if keep is None or i in keep
+                    else None
+                    for i, column in enumerate(payload.columns)
                 ]
+                nrows = len(live)
             if pending is None:
                 pending = cols
+                pending_len = nrows
             else:
                 for out, col in zip(pending, cols):
-                    out.extend(col)
-            while pending is not None and len(pending[0]) >= batch_rows:
-                if len(pending[0]) == batch_rows:
-                    yield ColumnBatch(pending)
+                    if out is not None:
+                        out.extend(col)
+                pending_len += nrows
+            while pending is not None and pending_len >= batch_rows:
+                if pending_len == batch_rows:
+                    yield ColumnBatch(pending, length=pending_len)
                     pending = None
+                    pending_len = 0
                 else:
-                    yield ColumnBatch([col[:batch_rows] for col in pending])
-                    pending = [col[batch_rows:] for col in pending]
-        if pending is not None and pending[0]:
-            yield ColumnBatch(pending)
+                    yield ColumnBatch(
+                        [
+                            col[:batch_rows] if col is not None else None
+                            for col in pending
+                        ],
+                        length=batch_rows,
+                    )
+                    pending = [
+                        col[batch_rows:] if col is not None else None
+                        for col in pending
+                    ]
+                    pending_len -= batch_rows
+        if pending is not None and pending_len:
+            yield ColumnBatch(pending, length=pending_len)
 
     # -- updates / deletes -------------------------------------------------
 

@@ -180,6 +180,58 @@ _COMPARE = {
 }
 
 
+def _to_date_value(value):
+    import datetime
+
+    if isinstance(value, datetime.date):
+        return value
+    return datetime.date.fromisoformat(str(value))
+
+
+#: NULL-strict unary scalar functions: each maps one non-NULL value;
+#: the shared wrapper handles NULL propagation.  The conversion family
+#: exists for the Universal Table layout, which funnels every logical
+#: type through VARCHAR data columns.
+_UNARY_FUNCS = {
+    "LENGTH": lambda v: len(str(v)),
+    "UPPER": lambda v: str(v).upper(),
+    "LOWER": lambda v: str(v).lower(),
+    "ABS": abs,
+    "TO_INT": int,
+    "TO_DOUBLE": float,
+    "TO_DATE": _to_date_value,
+    "TO_BOOL": lambda v: v in (1, "1", True),
+    "TO_STR": str,
+}
+
+
+def _tag_unary(fn, arg: Compiled) -> Compiled:
+    """Wrap a NULL-strict unary function, carrying batch metadata.
+
+    When the argument is a slot read (directly or through another
+    tagged unary), the closure gets ``map1 = (slot, value_fn)`` so the
+    batch compiler can map the stored column without assembling row
+    tuples — this is what keeps fused cross-tenant aggregates over the
+    Universal Table's ``TO_INT(colN)`` casts on the columnar fast path.
+    """
+
+    def unary(row, params):
+        value = arg(row, params)
+        if value is None:
+            return None
+        return fn(value)
+
+    slot = getattr(arg, "slot", None)
+    if slot is not None:
+        unary.map1 = (slot, fn)
+    else:
+        inner = getattr(arg, "map1", None)
+        if inner is not None:
+            inner_slot, inner_fn = inner
+            unary.map1 = (inner_slot, lambda v: fn(inner_fn(v)))
+    return unary
+
+
 class ExprCompiler:
     """Compiles expression ASTs against a fixed schema.
 
@@ -249,8 +301,25 @@ class ExprCompiler:
             return self._compile_scalar_func(expr)
         if isinstance(expr, ast.InList):
             operand = self.compile(expr.operand)
-            items = [self.compile(i) for i in expr.items]
             negated = expr.negated
+            if all(isinstance(i, ast.Literal) for i in expr.items):
+                # All-literal lists (the shape of fused cross-tenant
+                # ``tenant IN (...)`` pushdowns) probe one frozenset in
+                # O(1) instead of evaluating k item closures per row.
+                values = frozenset(i.value for i in expr.items)
+                def in_set(row, params):
+                    value = operand(row, params)
+                    if value is None:
+                        return None
+                    found = value in values
+                    return (not found) if negated else found
+                # Metadata for the batch compiler: a slot membership
+                # test vectorizes into one probe per stored value.
+                slot = getattr(operand, "slot", None)
+                if slot is not None:
+                    in_set.inset = (slot, values, negated)
+                return in_set
+            items = [self.compile(i) for i in expr.items]
             def in_list(row, params):
                 value = operand(row, params)
                 if value is None:
@@ -372,18 +441,8 @@ class ExprCompiler:
                 f"aggregate {name} not allowed here (handled by GRPBY)"
             )
         args = [self.compile(a) for a in expr.args]
-        if name == "LENGTH" and len(args) == 1:
-            return lambda row, params: (
-                None if (v := args[0](row, params)) is None else len(str(v))
-            )
-        if name == "UPPER" and len(args) == 1:
-            return lambda row, params: (
-                None if (v := args[0](row, params)) is None else str(v).upper()
-            )
-        if name == "LOWER" and len(args) == 1:
-            return lambda row, params: (
-                None if (v := args[0](row, params)) is None else str(v).lower()
-            )
+        if len(args) == 1 and name in _UNARY_FUNCS:
+            return _tag_unary(_UNARY_FUNCS[name], args[0])
         if name == "COALESCE" and args:
             def coalesce(row, params):
                 for arg in args:
@@ -392,35 +451,4 @@ class ExprCompiler:
                         return value
                 return None
             return coalesce
-        if name == "ABS" and len(args) == 1:
-            return lambda row, params: (
-                None if (v := args[0](row, params)) is None else abs(v)
-            )
-        # Conversion functions used by the Universal Table layout, which
-        # funnels every logical type through VARCHAR data columns.
-        if name == "TO_INT" and len(args) == 1:
-            return lambda row, params: (
-                None if (v := args[0](row, params)) is None else int(v)
-            )
-        if name == "TO_DOUBLE" and len(args) == 1:
-            return lambda row, params: (
-                None if (v := args[0](row, params)) is None else float(v)
-            )
-        if name == "TO_DATE" and len(args) == 1:
-            def to_date(row, params):
-                import datetime
-
-                value = args[0](row, params)
-                if value is None or isinstance(value, datetime.date):
-                    return value
-                return datetime.date.fromisoformat(str(value))
-            return to_date
-        if name == "TO_BOOL" and len(args) == 1:
-            return lambda row, params: (
-                None if (v := args[0](row, params)) is None else v in (1, "1", True)
-            )
-        if name == "TO_STR" and len(args) == 1:
-            return lambda row, params: (
-                None if (v := args[0](row, params)) is None else str(v)
-            )
         raise PlanError(f"unknown function {name}")

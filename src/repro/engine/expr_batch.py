@@ -25,8 +25,22 @@ from operator import itemgetter
 from typing import Callable, Sequence
 
 from .columnstore import ColumnBatch
-from .expr import _coerce_pair
+from .expr import _COMPARE, _coerce_pair
 from .values import sort_key
+
+#: Comparison closures whose operator can be inlined as source text
+#: (identity-keyed: ``.cmp`` tags carry the shared ``_COMPARE`` lambdas).
+_CMP_SOURCE = {
+    _COMPARE[op]: source
+    for op, source in (
+        ("=", "=="),
+        ("<>", "!="),
+        ("<", "<"),
+        ("<=", "<="),
+        (">", ">"),
+        (">=", ">="),
+    )
+}
 
 #: A compiled batch transform: (rows, params) -> rows.
 BatchFn = Callable[[list, Sequence[object]], list]
@@ -82,10 +96,62 @@ def _columnar_predicate(predicate):
     declared types), so one probe value decides per batch whether the
     slow coercion path is needed at all.
     """
+    inset = getattr(predicate, "inset", None)
+    if inset is not None:
+        in_slot, values, negated = inset
+
+        def run_inset(batch: ColumnBatch, params, sel):
+            # NULL operands are never True (the row closure returns
+            # None for them), so membership alone decides; literal
+            # values are hashable, and ``in`` matches the row closure's
+            # ``==`` membership test (bool/int unification included).
+            column = batch.col(in_slot)
+            if negated:
+                if sel is None:
+                    return [
+                        i
+                        for i, v in enumerate(column)
+                        if v is not None and v not in values
+                    ]
+                return [
+                    i
+                    for i in sel
+                    if (v := column[i]) is not None and v not in values
+                ]
+            if sel is None:
+                return [
+                    i
+                    for i, v in enumerate(column)
+                    if v is not None and v in values
+                ]
+            return [
+                i
+                for i in sel
+                if (v := column[i]) is not None and v in values
+            ]
+
+        return run_inset
     cmp = getattr(predicate, "cmp", None)
     if cmp is None:
         return None
     slot, fn, other, swapped = cmp
+    # Known comparison operators inline as source text, so the hot
+    # non-coercing loop below runs without a per-value lambda call.
+    sym = _CMP_SOURCE.get(fn)
+    if sym is None:
+        dense_fast = sparse_fast = None
+    else:
+        cond = f"(c {sym} v)" if swapped else f"(v {sym} c)"
+        dense_fast = _codegen(
+            "lambda column, c: [i for i, v in enumerate(column) "
+            f"if v is not None and {cond} is True]",
+            {},
+        )
+        sparse_fast = _codegen(
+            "lambda column, c, sel: [i for i in sel "
+            f"if (v := column[i]) is not None and {cond} is True]",
+            {},
+        )
 
     def careful(column, c, sel):
         pairs = (
@@ -124,6 +190,10 @@ def _columnar_predicate(predicate):
             # take the per-value path for exact row-closure semantics.
             return careful(column, c, sel)
         try:
+            if dense_fast is not None:
+                if sel is None:
+                    return dense_fast(column, c)
+                return sparse_fast(column, c, sel)
             if swapped:
                 if sel is None:
                     return [
@@ -196,9 +266,36 @@ def compile_filter(predicates: Sequence) -> BatchFn | None:
 # -- projections / key extraction ---------------------------------------------
 
 
+def _column_program(expr):
+    """``(batch, params) -> value list`` straight off stored columns.
+
+    Returns ``None`` when the expression has no columnar evaluation:
+    slot reads return the stored column itself, constants replicate,
+    and ``.map1``-tagged unary functions (``TO_INT(colN)`` casts and
+    friends) map one column through a single C-level comprehension —
+    NULLs propagate, matching the row closure.
+    """
+    slot = getattr(expr, "slot", None)
+    if slot is not None:
+        return lambda batch, params: batch.col(slot)
+    const = getattr(expr, "const", _MISSING)
+    if const is not _MISSING:
+        return lambda batch, params: [const] * len(batch)
+    map1 = getattr(expr, "map1", None)
+    if map1 is not None:
+        map_slot, fn = map1
+        return lambda batch, params: [
+            None if v is None else fn(v) for v in batch.col(map_slot)
+        ]
+    return None
+
+
 def compile_tuples(exprs: Sequence) -> BatchFn:
     """One output tuple per input row: projections, join keys, group
-    keys.  All-slot expression lists become a single ``itemgetter``."""
+    keys.  All-slot expression lists become a single ``itemgetter``;
+    over a :class:`ColumnBatch`, any list whose members all evaluate
+    columnar (:func:`_column_program`) zips value lists instead of
+    assembling input row tuples."""
     if not exprs:
         empty = ()
         return lambda rows, params: [empty] * len(rows)
@@ -230,7 +327,17 @@ def compile_tuples(exprs: Sequence) -> BatchFn:
         parts.append(f"e{i}(r, params)")
     body = ", ".join(parts) + ("," if len(parts) == 1 else "")
     source = f"lambda rows, params: [({body}) for r in rows]"
-    return _codegen(source, namespace)
+    row_program = _codegen(source, namespace)
+    programs = [_column_program(e) for e in exprs]
+    if any(p is None for p in programs):
+        return row_program
+
+    def columnar(rows, params):
+        if type(rows) is ColumnBatch:
+            return list(zip(*[p(rows, params) for p in programs]))
+        return row_program(rows, params)
+
+    return columnar
 
 
 def compile_values(expr) -> BatchFn:
@@ -238,7 +345,8 @@ def compile_values(expr) -> BatchFn:
 
     A slot read over a :class:`ColumnBatch` returns the stored column
     itself (callers treat value lists as read-only), so aggregates over
-    columnar scans never assemble row tuples at all.
+    columnar scans never assemble row tuples at all; ``.map1``-tagged
+    casts map the stored column the same way.
     """
     slot = getattr(expr, "slot", None)
     if slot is not None:
@@ -253,9 +361,19 @@ def compile_values(expr) -> BatchFn:
     const = getattr(expr, "const", _MISSING)
     if const is not _MISSING:
         return lambda rows, params: [const] * len(rows)
-    return _codegen(
+    row_program = _codegen(
         "lambda rows, params: [e0(r, params) for r in rows]", {"e0": expr}
     )
+    column_program = _column_program(expr)
+    if column_program is None:
+        return row_program
+
+    def mapped(rows, params):
+        if type(rows) is ColumnBatch:
+            return column_program(rows, params)
+        return row_program(rows, params)
+
+    return mapped
 
 
 # -- sorting ------------------------------------------------------------------

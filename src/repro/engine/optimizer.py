@@ -25,7 +25,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from .catalog import Catalog, Table
-from .errors import EngineError, PlanError
+from .errors import EngineError, PlanError, UnknownObjectError
 from .expr import (
     ExprCompiler,
     Schema,
@@ -191,6 +191,11 @@ class Planner:
         select: ast.Select,
         directives: PlanDirectives | None = None,
     ) -> phys.PReturn:
+        if select.tenants is not None:
+            raise PlanError(
+                "FOR TENANTS is a multi-tenant dialect clause; execute it "
+                "through MultiTenantDatabase.execute_cross, not the raw engine"
+            )
         block = qualify_block(build_block(select), self._column_lookup)
         if self.profile is OptimizerProfile.ADVANCED:
             block = flatten_block(block)
@@ -402,6 +407,12 @@ class Planner:
         return conjuncts + derived
 
     def _needed_columns(self, block: QueryBlock) -> dict[str, set[str]]:
+        """Per-binding referenced columns; the ``""`` key marks the map
+        *incomplete* (an unqualified reference or an expression shape the
+        walk does not enumerate) — consumers that need a proven-complete
+        set (column pruning) must then stand down.  The per-binding sets
+        stay usable either way for cost heuristics (index-only covering
+        checks re-verify against residuals separately)."""
         needed: dict[str, set[str]] = {}
 
         def walk(expr) -> None:
@@ -410,6 +421,8 @@ class Planner:
                     needed.setdefault(expr.table.lower(), set()).add(
                         expr.column.lower()
                     )
+                else:
+                    needed[""] = set()
             elif isinstance(expr, ast.BinaryOp):
                 walk(expr.left)
                 walk(expr.right)
@@ -424,6 +437,8 @@ class Planner:
                     walk(i)
             elif isinstance(expr, ast.InSubquery):
                 walk(expr.operand)
+            elif not isinstance(expr, (ast.Literal, ast.Param)):
+                needed[""] = set()
 
         for item in block.items:
             walk(item.expr)
@@ -557,6 +572,56 @@ class Planner:
                 break
         return eq_map
 
+    @staticmethod
+    def _literal_inlist(expr: ast.Expr) -> tuple[str, frozenset] | None:
+        """``(column, values)`` for a non-negated all-literal IN-list on a
+        column, else ``None``.  Fused cross-tenant statements push their
+        tenant-set predicate down as exactly this shape."""
+        if (
+            isinstance(expr, ast.InList)
+            and not expr.negated
+            and isinstance(expr.operand, ast.ColumnRef)
+            and expr.items
+            and all(isinstance(i, ast.Literal) for i in expr.items)
+        ):
+            values = frozenset(i.value for i in expr.items)
+            return expr.operand.column.lower(), values
+        return None
+
+    def _residual_fp(self, conjunct: _Conjunct) -> str:
+        """Feedback fingerprint for a residual conjunct.
+
+        Literal IN-lists normalize to ``<column> in#<k>`` so feedback
+        learned for one tenant set transfers to every other set of the
+        same size — a per-literal fingerprint would mint one feedback
+        key per tenant combination and never be seen twice."""
+        inlist = self._literal_inlist(conjunct.expr)
+        if inlist is not None:
+            column, values = inlist
+            return f"res:{column} in#{len(values)}"
+        return f"res:{conjunct.sql}"
+
+    def _inlist_cap(
+        self, entry: _Entry, residuals: list[_Conjunct]
+    ) -> float | None:
+        """Static cardinality cap from literal IN-list residuals.
+
+        ``col IN (v1..vk)`` matches at most k times the rows one
+        equality on ``col`` would — so a fused cross-tenant scan's
+        estimate scales with |tenant set| instead of collapsing to the
+        bare table cardinality (pruning 2 of 50 tenants should look 25x
+        cheaper, and the join order should react accordingly)."""
+        cap = None
+        for conjunct in residuals:
+            inlist = self._literal_inlist(conjunct.expr)
+            if inlist is None:
+                continue
+            column, values = inlist
+            per_value = self._estimate_access(entry, [column])
+            estimate = len(values) * per_value
+            cap = estimate if cap is None else min(cap, estimate)
+        return cap
+
     def _estimate_access(self, entry: _Entry, bound_columns: list[str]) -> float:
         if entry.table is None:
             return entry.est_rows
@@ -666,9 +731,11 @@ class Planner:
             if id(c) not in consumed
             and c.bindings == frozenset({entry.binding})
         ]
-        residual_fps = {
-            f"res:{c.sql}" for c in single if id(c) not in eq_conjunct_ids
-        }
+        non_eq_residuals = [c for c in single if id(c) not in eq_conjunct_ids]
+        residual_fps = {self._residual_fp(c) for c in non_eq_residuals}
+        # Literal IN-lists (tenant-set pushdowns) bound the estimate
+        # statically: k values match at most k single-value probes.
+        inlist_cap = self._inlist_cap(entry, non_eq_residuals)
 
         def annotate(
             node: phys.PNode,
@@ -687,6 +754,10 @@ class Planner:
                 node.est_rows = max(0.1, learned)
             else:
                 node.est_rows = self._estimate_access(entry, sorted(enforced))
+                if inlist_cap is not None:
+                    node.est_rows = max(
+                        0.1, min(node.est_rows, inlist_cap)
+                    )
             if key_cols:
                 node.feedback_key = (
                     table.name.lower(),
@@ -729,6 +800,7 @@ class Planner:
                 binding=entry.binding,
                 residual=[compiler.compile(c.expr) for c in residual_conjuncts],
                 residual_sql=[c.sql for c in residual_conjuncts],
+                used_columns=self._used_slots(entry, needed, residual_conjuncts),
             )
             consumed.update(id(c) for c in residual_conjuncts)
             self._consume_derived_duplicates(conjuncts, consumed, placed_bindings | {entry.binding})
@@ -870,6 +942,74 @@ class Planner:
         for conjunct in conjuncts:
             if conjunct.derived and conjunct.bindings <= available:
                 consumed.add(id(conjunct))
+
+    def _used_slots(
+        self,
+        entry: "_Entry",
+        needed: dict[str, set[str]],
+        residuals: list["_Conjunct"],
+    ) -> list[int] | None:
+        """Slot positions a table scan provably needs, or ``None``.
+
+        ``None`` (prune nothing) whenever the block's reference map is
+        incomplete, a residual's columns cannot be proven, a name fails
+        to resolve, or pruning would not drop anything.  Residuals are
+        re-walked strictly rather than trusted to appear in ``needed``:
+        derived (pushed-down) conjuncts are not part of the block's own
+        conjunct list.
+        """
+        if "" in needed:
+            return None
+        names = set(needed.get(entry.binding, set()))
+        for conjunct in residuals:
+            cols = self._strict_columns(conjunct.expr, entry.binding)
+            if cols is None:
+                return None
+            names |= cols
+        schema = entry.schema
+        if len(names) >= len(schema.slots):
+            return None
+        try:
+            return sorted(
+                schema.resolve(entry.binding, name) for name in names
+            )
+        except (UnknownObjectError, PlanError):
+            return None
+
+    @staticmethod
+    def _strict_columns(expr: ast.Expr, binding: str) -> set[str] | None:
+        """Columns of ``binding`` referenced in ``expr``, or ``None``
+        when the set cannot be proven complete (an unqualified reference
+        or an unenumerated expression shape)."""
+        cols: set[str] = set()
+        ok = True
+
+        def walk(node):
+            nonlocal ok
+            if isinstance(node, ast.ColumnRef):
+                if node.table is None:
+                    ok = False
+                elif node.table.lower() == binding:
+                    cols.add(node.column.lower())
+            elif isinstance(node, ast.BinaryOp):
+                walk(node.left)
+                walk(node.right)
+            elif isinstance(node, (ast.UnaryOp, ast.IsNull)):
+                walk(node.operand)
+            elif isinstance(node, ast.FuncCall):
+                for a in node.args:
+                    walk(a)
+            elif isinstance(node, ast.InList):
+                walk(node.operand)
+                for i in node.items:
+                    walk(i)
+            elif isinstance(node, ast.InSubquery):
+                walk(node.operand)
+            elif not isinstance(node, (ast.Literal, ast.Param)):
+                ok = False
+
+        walk(expr)
+        return cols if ok else None
 
     @staticmethod
     def _columns_of_binding(expr: ast.Expr, binding: str) -> set[str]:
@@ -1279,6 +1419,30 @@ class Planner:
         grp._to_pseudo = to_pseudo  # type: ignore[attr-defined]
         return grp
 
+    @staticmethod
+    def _output_position(
+        block: QueryBlock, expr: ast.Expr
+    ) -> int | None:
+        """The output column an ORDER BY key denotes, if any.
+
+        Matching is by exact expression text against a select item, or
+        by a (unique) unqualified reference to an output name.  Name
+        matching alone is NOT sound for qualified refs: after subquery
+        flattening, a physical column (``f0.val``) can collide with an
+        output name (``val``) that projects a *different* expression,
+        and the schema resolver's name-only fallback would silently
+        sort on the wrong column."""
+        rendered = expr.sql()
+        for position, item in enumerate(block.items):
+            if item.expr.sql() == rendered:
+                return position
+        if isinstance(expr, ast.ColumnRef) and expr.table is None:
+            lowered = [n.lower() for n in block.output_names()]
+            name = expr.column.lower()
+            if lowered.count(name) == 1:
+                return lowered.index(name)
+        return None
+
     def _plan_order(
         self, node: phys.PNode, block: QueryBlock, *, grouped: bool
     ) -> phys.PNode:
@@ -1294,10 +1458,23 @@ class Planner:
             hidden = 0
             for order_item in block.order_by:
                 expr = order_item.expr
-                try:
-                    # Aliases / output columns sort on the visible row.
-                    compiled = out_compiler.compile(expr)
-                except EngineError:
+                out_position = self._output_position(block, expr)
+                qualified = (
+                    isinstance(expr, ast.ColumnRef) and expr.table is not None
+                )
+                compiled = None
+                if out_position is not None:
+                    compiled = (
+                        lambda row, params, i=out_position: row[i]
+                    )
+                elif not qualified:
+                    try:
+                        # Expressions over aliases / output columns sort
+                        # on the visible row.
+                        compiled = out_compiler.compile(expr)
+                    except EngineError:
+                        compiled = None
+                if compiled is None:
                     # Anything else (ORDER BY COUNT(*), ORDER BY a group
                     # expression not in the select list) becomes a hidden
                     # output computed from the pseudo (keys+aggs) row.
@@ -1344,22 +1521,39 @@ class Planner:
         )
         if not block.order_by:
             return project
-        # Try post-projection resolution (aliases / output columns).
-        out_compiler = ExprCompiler(out_schema, self._subquery_executor)
+        # Post-projection sort when every key denotes an output column
+        # (by position — see _output_position for why name matching
+        # alone is unsound after flattening).
         post_keys, ok = [], True
         for order_item in block.order_by:
-            try:
-                post_keys.append(
-                    (out_compiler.compile(order_item.expr), order_item.descending)
-                )
-            except Exception:
+            position = self._output_position(block, order_item.expr)
+            if position is None:
                 ok = False
                 break
+            post_keys.append(
+                (
+                    lambda row, params, i=position: row[i],
+                    order_item.descending,
+                )
+            )
         if ok:
             return phys.PSort(schema=out_schema, child=project, keys=post_keys)
-        pre_keys = [
-            (child_compiler.compile(o.expr), o.descending) for o in block.order_by
-        ]
+        try:
+            pre_keys = [
+                (child_compiler.compile(o.expr), o.descending)
+                for o in block.order_by
+            ]
+        except EngineError:
+            # Expressions over output aliases (ORDER BY alias + 1): only
+            # the projected row can evaluate them.
+            out_compiler = ExprCompiler(out_schema, self._subquery_executor)
+            post_keys = [
+                (out_compiler.compile(o.expr), o.descending)
+                for o in block.order_by
+            ]
+            return phys.PSort(
+                schema=out_schema, child=project, keys=post_keys
+            )
         sort = phys.PSort(schema=node.schema, child=node, keys=pre_keys)
         return phys.PProject(
             schema=out_schema,

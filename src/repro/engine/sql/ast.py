@@ -227,6 +227,27 @@ class OrderItem:
 
 
 @dataclass(frozen=True)
+class TenantClause:
+    """The MTSQL tenant-scope clause: ``FOR TENANTS IN (t1, ...)`` or
+    ``FOR ALL TENANTS``.
+
+    A SELECT carrying this clause is a *cross-tenant* statement: it is
+    evaluated once over the union of the named tenants' data instead of
+    inside one tenant's scope, with the tenant dimension addressable in
+    the query via ``TENANT_ID()``.  ``all_tenants`` defers resolution of
+    the concrete id set to execution time (every tenant then present).
+    """
+
+    all_tenants: bool = False
+    ids: tuple[int, ...] = ()
+
+    def sql(self) -> str:
+        if self.all_tenants:
+            return "FOR ALL TENANTS"
+        return "FOR TENANTS IN (" + ", ".join(str(i) for i in self.ids) + ")"
+
+
+@dataclass(frozen=True)
 class Select:
     items: tuple[SelectItem, ...]
     sources: tuple[Source, ...]
@@ -236,6 +257,8 @@ class Select:
     order_by: tuple[OrderItem, ...] = ()
     limit: int | None = None
     distinct: bool = False
+    #: MTSQL tenant-scope clause; None = ordinary single-tenant SELECT.
+    tenants: TenantClause | None = None
 
     def sql(self) -> str:
         head = "SELECT DISTINCT" if self.distinct else "SELECT"
@@ -252,6 +275,8 @@ class Select:
             parts.append("ORDER BY " + ", ".join(o.sql() for o in self.order_by))
         if self.limit is not None:
             parts.append(f"LIMIT {self.limit}")
+        if self.tenants is not None:
+            parts.append(self.tenants.sql())
         return " ".join(parts)
 
 

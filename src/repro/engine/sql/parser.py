@@ -66,6 +66,23 @@ class _Parser:
             )
         return self._advance().text
 
+    def _accept_word(self, word: str) -> bool:
+        """Accept a non-reserved keyword (lexed as IDENT), like USING/FOR."""
+        if (
+            self._current.kind is TokenKind.IDENT
+            and self._current.text.upper() == word
+        ):
+            self._advance()
+            return True
+        return False
+
+    def _expect_word(self, word: str) -> None:
+        if not self._accept_word(word):
+            raise ParseError(
+                f"expected {word}, found {self._current.text or 'end of input'}",
+                self._current.position,
+            )
+
     # -- entry point ------------------------------------------------------------
 
     def parse(self) -> ast.Statement:
@@ -153,6 +170,7 @@ class _Parser:
             if self._current.kind is not TokenKind.NUMBER:
                 raise ParseError("LIMIT expects a number", self._current.position)
             limit = int(self._advance().text)
+        tenants = self._parse_tenant_clause()
         return ast.Select(
             items=tuple(items),
             sources=tuple(sources),
@@ -162,7 +180,36 @@ class _Parser:
             order_by=tuple(order_by),
             limit=limit,
             distinct=distinct,
+            tenants=tenants,
         )
+
+    def _parse_tenant_clause(self) -> ast.TenantClause | None:
+        # MTSQL tenant scope: FOR ALL TENANTS | FOR TENANTS IN (n, ...).
+        # FOR/ALL/TENANTS are not reserved words; FOR is matched as an
+        # identifier here and blocked from alias positions above.
+        if not self._accept_word("FOR"):
+            return None
+        if self._accept_word("ALL"):
+            self._expect_word("TENANTS")
+            return ast.TenantClause(all_tenants=True)
+        self._expect_word("TENANTS")
+        self._expect_keyword("IN")
+        self._expect_punct("(")
+        ids: list[int] = []
+        while True:
+            if self._current.kind is not TokenKind.NUMBER:
+                raise ParseError(
+                    "FOR TENANTS IN expects integer tenant ids",
+                    self._current.position,
+                )
+            text = self._advance().text
+            if "." in text:
+                raise ParseError("tenant ids must be integers", self._current.position)
+            ids.append(int(text))
+            if not self._accept_punct(","):
+                break
+        self._expect_punct(")")
+        return ast.TenantClause(ids=tuple(ids))
 
     def _parse_select_item(self) -> ast.SelectItem:
         if self._current.kind is TokenKind.OP and self._current.text == "*":
@@ -182,7 +229,11 @@ class _Parser:
         alias: str | None = None
         if self._accept_keyword("AS"):
             alias = self._expect_ident()
-        elif self._current.kind is TokenKind.IDENT:
+        elif (
+            self._current.kind is TokenKind.IDENT
+            and self._current.text.upper() != "FOR"
+        ):
+            # FOR introduces the tenant clause, never an implicit alias.
             alias = self._advance().text
         return ast.SelectItem(expr, alias)
 
@@ -213,7 +264,11 @@ class _Parser:
         alias: str | None = None
         if self._accept_keyword("AS"):
             alias = self._expect_ident()
-        elif self._current.kind is TokenKind.IDENT:
+        elif (
+            self._current.kind is TokenKind.IDENT
+            and self._current.text.upper() != "FOR"
+        ):
+            # FOR introduces the tenant clause, never an implicit alias.
             alias = self._advance().text
         return ast.TableSource(name, alias)
 

@@ -261,7 +261,16 @@ class VectorizedExecutor:
             node, "residual", lambda: compile_filter(node.residual)
         )
         stats = self.stats
-        for batch in table.heap.scan_batches(self.batch_rows):
+        if (
+            node.used_columns is not None
+            and getattr(table.heap, "storage_kind", None) == "columnar"
+        ):
+            batches = table.heap.scan_batches(
+                self.batch_rows, node.used_columns
+            )
+        else:
+            batches = table.heap.scan_batches(self.batch_rows)
+        for batch in batches:
             stats.rows_scanned += len(batch)
             if residual is not None:
                 batch = residual(batch, params)
@@ -662,9 +671,20 @@ class VectorizedExecutor:
         params: Sequence[object],
         cache: dict[int, list[tuple]],
     ) -> Iterator[list]:
-        group_keys = self._program(
-            node, "group_keys", lambda: compile_tuples(node.group_exprs)
-        )
+        single_key = len(node.group_exprs) == 1
+        if single_key:
+            # One grouping column: key on the raw values (often the
+            # stored column itself) instead of allocating a 1-tuple per
+            # row — tuples reappear only on output.
+            group_keys = self._program(
+                node,
+                "group_key_values",
+                lambda: compile_values(node.group_exprs[0]),
+            )
+        else:
+            group_keys = self._program(
+                node, "group_keys", lambda: compile_tuples(node.group_exprs)
+            )
         arg_programs = self._program(
             node,
             "agg_args",
@@ -714,7 +734,8 @@ class VectorizedExecutor:
         out: list[tuple] = []
         batch_rows = self.batch_rows
         for key, accs in groups.items():
-            pseudo = key + tuple(
+            key_tuple = (key,) if single_key else key
+            pseudo = key_tuple + tuple(
                 _finalize_agg(spec, acc) for spec, acc in zip(specs, accs)
             )
             if having is not None and having(pseudo, params) is not True:

@@ -64,3 +64,12 @@ def test_admin_ops_replay_is_clean():
     )
     report = run_analysis(config)
     assert report.ok, [f.message for f in report.findings]
+
+
+def test_gate_fails_on_widened_cross_tenant_set(capsys):
+    code = main(
+        ["--strict", "--mutate", "widen-crosstenant",
+         "--layouts", "extension", "universal", *SMALL]
+    )
+    assert code == 1
+    assert "ISO006" in capsys.readouterr().out

@@ -172,3 +172,125 @@ def test_dml_statements_are_guarded(layout):
             stmt, GuardContext(expected_tenant=17), "dml"
         )
         assert report.ok, [f.message for f in report.findings]
+
+
+# -- fused cross-tenant statements (ISO006) -----------------------------------
+
+
+def cross_groups(mtd, sql, ids):
+    from repro.core.transform.crosstenant import CrossTenantTransformer
+
+    transformer = CrossTenantTransformer(
+        mtd.schema, mtd.layout_for, mtd._physical_lookup
+    )
+    return transformer.transform(parse_statement(sql), ids).groups
+
+
+@pytest.mark.parametrize("layout", ALL_LAYOUTS)
+def test_fused_statements_dominated_by_declared_set(layout):
+    mtd = build_running_example(layout)
+    verifier = make_verifier(mtd)
+    declared = (17, 42)
+    for group in cross_groups(
+        mtd, "SELECT name FROM account FOR TENANTS IN (17, 42)", declared
+    ):
+        report = verifier.check_statement(
+            group.select, GuardContext(tenant_set=declared), "fused"
+        )
+        assert report.ok, [f.message for f in report.findings]
+
+
+def test_inlist_beyond_declared_set_is_iso006():
+    mtd = build_running_example("extension")
+    verifier = make_verifier(mtd)
+    # Build the fused statement for {17, 35, 42} but declare only
+    # {17, 42}: the tenant IN-list now includes an undeclared tenant.
+    for group in cross_groups(
+        mtd, "SELECT name FROM account FOR TENANTS IN (17, 35, 42)",
+        (17, 35, 42),
+    ):
+        report = verifier.check_statement(
+            group.select, GuardContext(tenant_set=(17, 42)), "widened"
+        )
+        assert "ISO006" in {f.rule_id for f in report.errors}
+
+
+def test_literal_equality_outside_set_is_iso006():
+    mtd = build_running_example("private")
+    verifier = make_verifier(mtd)
+    # private fuses per tenant with tenant = <literal> pushdowns; a
+    # group built for an undeclared tenant must be refused.
+    groups = cross_groups(
+        mtd, "SELECT name FROM account FOR TENANTS IN (35)", (35,)
+    )
+    rules = set()
+    for group in groups:
+        report = verifier.check_statement(
+            group.select, GuardContext(tenant_set=(17, 42)), "wrong-tenant"
+        )
+        rules |= {f.rule_id for f in report.errors}
+    # private tables carry no shared meta columns, so domination is
+    # trivially satisfied there; shared layouts carry the check.
+    mtd2 = build_running_example("universal")
+    verifier2 = make_verifier(mtd2)
+    for group in cross_groups(
+        mtd2, "SELECT name FROM account FOR TENANTS IN (35)", (35,)
+    ):
+        report = verifier2.check_statement(
+            group.select, GuardContext(tenant_set=(17, 42)), "wrong-tenant"
+        )
+        rules |= {f.rule_id for f in report.errors}
+    assert "ISO006" in rules, rules
+
+
+def test_parameter_tenant_guard_in_cross_statement_is_iso006():
+    mtd = build_running_example("extension")
+    verifier = make_verifier(mtd)
+    stmt = parse_statement(
+        "SELECT name FROM account_ext WHERE tenant = ?"
+    )
+    report = verifier.check_statement(
+        stmt, GuardContext(tenant_set=(17, 42)), "param-guard"
+    )
+    assert "ISO006" in {f.rule_id for f in report.errors}
+
+
+def test_negated_or_non_literal_inlist_is_no_guard():
+    mtd = build_running_example("extension")
+    verifier = make_verifier(mtd)
+    context = GuardContext(tenant_set=(17, 42))
+    for sql in (
+        "SELECT name FROM account_ext WHERE tenant NOT IN (17, 42)",
+        "SELECT name FROM account_ext WHERE tenant IN (17, ?)",
+    ):
+        report = verifier.check_statement(parse_statement(sql), context, sql)
+        assert "ISO001" in {f.rule_id for f in report.errors}, sql
+
+
+def test_inlist_outside_cross_context_is_no_guard():
+    # A tenant IN-list only dominates under a declared tenant set;
+    # single-tenant disciplines must still refuse it.
+    mtd = build_running_example("extension")
+    verifier = make_verifier(mtd)
+    report = verifier.check_statement(
+        parse_statement("SELECT name FROM account_ext WHERE tenant IN (17)"),
+        GuardContext(expected_tenant=17),
+        "single-tenant-inlist",
+    )
+    assert "ISO001" in {f.rule_id for f in report.errors}
+
+
+def test_widen_crosstenant_mutation_is_caught_end_to_end():
+    from repro.analysis.runner import AnalysisConfig, run_analysis
+
+    config = AnalysisConfig(
+        layouts=("extension",),
+        variabilities=(0.0,),
+        tenants=2,
+        rows_per_table=1,
+        admin_ops=False,
+        mutate="widen-crosstenant",
+    )
+    report = run_analysis(config)
+    assert not report.ok
+    assert "ISO006" in {f.rule_id for f in report.errors}

@@ -259,3 +259,81 @@ class TestDurability:
             run(go())
         finally:
             cluster.close()
+
+
+class TestScatterGather:
+    """The admin plane fans out to shard workers concurrently: the
+    wall-clock cost of a cluster-wide read is the slowest shard, not
+    the sum of all shards."""
+
+    @staticmethod
+    def _slow_down(cluster, delay, shards=None):
+        """Make each shard's tenant_ids job sleep on its worker thread."""
+        import time
+
+        for name, shard in cluster.shards.items():
+            if shards is not None and name not in shards:
+                continue
+            original = shard.mtd.tenant_ids
+
+            def slowed(original=original):
+                time.sleep(delay)
+                return original()
+
+            shard.mtd.tenant_ids = slowed
+
+    def test_gather_matches_serial_union(self, mem_cluster):
+        assert run(mem_cluster.gather_tenant_ids()) == [17, 35, 42]
+
+    def test_slow_shards_overlap_not_serialize(self):
+        import time
+
+        cluster = build_cluster(shards=4)
+        try:
+            delay = 0.2
+            self._slow_down(cluster, delay)
+            start = time.perf_counter()
+            ids = run(cluster.gather_tenant_ids())
+            elapsed = time.perf_counter() - start
+            assert ids == [17, 35, 42]
+            # Serial fan-out would cost ~4 * delay; concurrent
+            # scatter-gather costs ~1 * delay.  Allow generous slack
+            # for thread scheduling while staying far under serial.
+            assert elapsed < 2.5 * delay, elapsed
+        finally:
+            cluster.close()
+
+    def test_one_slow_shard_does_not_block_others(self, mem_cluster):
+        import time
+
+        slow = next(iter(mem_cluster.shards))
+        self._slow_down(mem_cluster, 0.3, shards={slow})
+
+        async def go():
+            # The fast shards' results are available while the slow
+            # shard is still sleeping; the gather completes in ~one
+            # slow-shard delay.
+            start = time.perf_counter()
+            ids = await mem_cluster.gather_tenant_ids()
+            return ids, time.perf_counter() - start
+
+        ids, elapsed = run(go())
+        assert ids == [17, 35, 42]
+        assert elapsed < 0.75, elapsed
+
+    def test_per_shard_timeout_names_the_shard(self, mem_cluster):
+        slow = next(iter(mem_cluster.shards))
+        self._slow_down(mem_cluster, 0.5, shards={slow})
+        with pytest.raises(ClusterError, match=slow):
+            run(mem_cluster.gather_tenant_ids(timeout=0.05))
+
+    def test_gather_tenant_row_counts_merges_shards(self, mem_cluster):
+        run(seed_rows(mem_cluster))
+        counts = run(mem_cluster.gather_tenant_row_counts())
+        assert counts == {
+            17: {"account": 1},
+            35: {"account": 1},
+            42: {"account": 1},
+        }
+        # The sync facade sees the same cluster-wide view.
+        assert mem_cluster.tenant_row_counts() == counts
